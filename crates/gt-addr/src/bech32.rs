@@ -1,0 +1,291 @@
+//! Bech32 / Bech32m (BIP-173, BIP-350) and segwit address codecs.
+
+const CHARSET: &[u8; 32] = b"qpzry9x8gf2tvdw0s3jn54khce6mua7l";
+const GEN: [u32; 5] = [0x3b6a_57b2, 0x2650_8e6d, 0x1ea1_19fa, 0x3d42_33dd, 0x2a14_62b3];
+
+const BECH32_CONST: u32 = 1;
+const BECH32M_CONST: u32 = 0x2bc8_30a3;
+
+/// Which checksum variant a string carried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    Bech32,
+    Bech32m,
+}
+
+fn polymod(values: &[u8]) -> u32 {
+    let mut chk: u32 = 1;
+    for &v in values {
+        let b = chk >> 25;
+        chk = ((chk & 0x1ff_ffff) << 5) ^ u32::from(v);
+        for (i, &g) in GEN.iter().enumerate() {
+            if (b >> i) & 1 == 1 {
+                chk ^= g;
+            }
+        }
+    }
+    chk
+}
+
+fn hrp_expand(hrp: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(hrp.len() * 2 + 1);
+    for b in hrp.bytes() {
+        out.push(b >> 5);
+    }
+    out.push(0);
+    for b in hrp.bytes() {
+        out.push(b & 31);
+    }
+    out
+}
+
+/// Encode 5-bit data with the given HRP and checksum variant.
+pub fn encode(hrp: &str, data: &[u8], variant: Variant) -> String {
+    let constant = match variant {
+        Variant::Bech32 => BECH32_CONST,
+        Variant::Bech32m => BECH32M_CONST,
+    };
+    let mut values = hrp_expand(hrp);
+    values.extend_from_slice(data);
+    values.extend_from_slice(&[0u8; 6]);
+    let plm = polymod(&values) ^ constant;
+    let mut out = String::with_capacity(hrp.len() + 1 + data.len() + 6);
+    out.push_str(hrp);
+    out.push('1');
+    for &d in data {
+        out.push(CHARSET[d as usize] as char);
+    }
+    for i in 0..6 {
+        out.push(CHARSET[((plm >> (5 * (5 - i))) & 31) as usize] as char);
+    }
+    out
+}
+
+/// Decode a bech32(m) string into (hrp, 5-bit data, variant).
+pub fn decode(s: &str) -> Option<(String, Vec<u8>, Variant)> {
+    // Reject mixed case, then fold.
+    if s.bytes().any(|b| b.is_ascii_uppercase()) && s.bytes().any(|b| b.is_ascii_lowercase()) {
+        return None;
+    }
+    let s = s.to_ascii_lowercase();
+    if s.len() > 90 {
+        return None;
+    }
+    let sep = s.rfind('1')?;
+    if sep == 0 || sep + 7 > s.len() {
+        return None;
+    }
+    let (hrp, rest) = s.split_at(sep);
+    let rest = &rest[1..];
+    if hrp.bytes().any(|b| !(33..=126).contains(&b)) {
+        return None;
+    }
+    let mut data = Vec::with_capacity(rest.len());
+    for c in rest.bytes() {
+        let pos = CHARSET.iter().position(|&x| x == c)?;
+        data.push(pos as u8);
+    }
+    let mut values = hrp_expand(hrp);
+    values.extend_from_slice(&data);
+    let variant = match polymod(&values) {
+        BECH32_CONST => Variant::Bech32,
+        BECH32M_CONST => Variant::Bech32m,
+        _ => return None,
+    };
+    data.truncate(data.len() - 6);
+    Some((hrp.to_string(), data, variant))
+}
+
+/// Regroup bits, e.g. 8-bit bytes ↔ 5-bit groups.
+pub fn convert_bits(data: &[u8], from: u32, to: u32, pad: bool) -> Option<Vec<u8>> {
+    let mut acc: u32 = 0;
+    let mut bits: u32 = 0;
+    let maxv: u32 = (1 << to) - 1;
+    let mut out = Vec::new();
+    for &value in data {
+        if u32::from(value) >> from != 0 {
+            return None;
+        }
+        acc = (acc << from) | u32::from(value);
+        bits += from;
+        while bits >= to {
+            bits -= to;
+            out.push(((acc >> bits) & maxv) as u8);
+        }
+    }
+    if pad {
+        if bits > 0 {
+            out.push(((acc << (to - bits)) & maxv) as u8);
+        }
+    } else if bits >= from || ((acc << (to - bits)) & maxv) != 0 {
+        return None;
+    }
+    Some(out)
+}
+
+/// Encode a segwit address (witness version + program) for an HRP
+/// (`"bc"` for Bitcoin mainnet).
+pub fn encode_segwit(hrp: &str, witness_version: u8, program: &[u8]) -> Option<String> {
+    if witness_version > 16 {
+        return None;
+    }
+    if program.len() < 2 || program.len() > 40 {
+        return None;
+    }
+    if witness_version == 0 && program.len() != 20 && program.len() != 32 {
+        return None;
+    }
+    let variant = if witness_version == 0 {
+        Variant::Bech32
+    } else {
+        Variant::Bech32m
+    };
+    let mut data = vec![witness_version];
+    data.extend(convert_bits(program, 8, 5, true)?);
+    Some(encode(hrp, &data, variant))
+}
+
+/// Decode and validate a segwit address, returning (witness version,
+/// program).
+pub fn decode_segwit(expected_hrp: &str, addr: &str) -> Option<(u8, Vec<u8>)> {
+    let (hrp, data, variant) = decode(addr)?;
+    if hrp != expected_hrp || data.is_empty() {
+        return None;
+    }
+    let version = data[0];
+    if version > 16 {
+        return None;
+    }
+    let expected_variant = if version == 0 {
+        Variant::Bech32
+    } else {
+        Variant::Bech32m
+    };
+    if variant != expected_variant {
+        return None;
+    }
+    let program = convert_bits(&data[1..], 5, 8, false)?;
+    if program.len() < 2 || program.len() > 40 {
+        return None;
+    }
+    if version == 0 && program.len() != 20 && program.len() != 32 {
+        return None;
+    }
+    Some((version, program))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // BIP-173 valid test vectors.
+    #[test]
+    fn valid_bech32_strings() {
+        for s in [
+            "A12UEL5L",
+            "an83characterlonghumanreadablepartthatcontainsthenumber1andtheexcludedcharactersbio1tt5tgs",
+            "abcdef1qpzry9x8gf2tvdw0s3jn54khce6mua7lmqqqxw",
+            "11qqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqc8247j",
+            "split1checkupstagehandshakeupstreamerranterredcaperred2y9e3w",
+        ] {
+            assert!(decode(s).is_some(), "{s} should decode");
+        }
+    }
+
+    #[test]
+    fn invalid_bech32_strings() {
+        for s in [
+            " 1nwldj5",          // HRP char out of range
+            "pzry9x0s0muk",      // no separator
+            "1pzry9x0s0muk",     // empty HRP
+            "x1b4n0q5v",         // invalid data char
+            "li1dgmt3",          // too-short checksum
+            "A1G7SGD8",          // checksum calculated with uppercase HRP
+            "10a06t8",           // empty HRP
+            "1qzzfhee",          // empty HRP
+            "abc1DEF2x6tnr",     // mixed case
+        ] {
+            assert!(decode(s).is_none(), "{s} should fail");
+        }
+    }
+
+    // BIP-173/350 segwit address vectors.
+    #[test]
+    fn valid_segwit_addresses() {
+        let (v, prog) =
+            decode_segwit("bc", "BC1QW508D6QEJXTDG4Y5R3ZARVARY0C5XW7KV8F3T4").unwrap();
+        assert_eq!(v, 0);
+        assert_eq!(prog.len(), 20);
+
+        let (v, prog) = decode_segwit(
+            "bc",
+            "bc1pw508d6qejxtdg4y5r3zarvary0c5xw7kw508d6qejxtdg4y5r3zarvary0c5xw7kt5nd6y",
+        )
+        .unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(prog.len(), 40);
+
+        // P2WSH (32-byte program).
+        let (v, prog) = decode_segwit(
+            "bc",
+            "bc1qrp33g0q5c5txsp9arysrx4k6zdkfs4nce4xj0gdcccefvpysxf3qccfmv3",
+        )
+        .unwrap();
+        assert_eq!(v, 0);
+        assert_eq!(prog.len(), 32);
+    }
+
+    #[test]
+    fn invalid_segwit_addresses() {
+        for s in [
+            // wrong hrp for mainnet check
+            "tb1qw508d6qejxtdg4y5r3zarvary0c5xw7kxpjzsx",
+            // v0 with bech32m checksum (BIP-350 invalid vector)
+            "bc1qw508d6qejxtdg4y5r3zarvary0c5xw7kemeawh",
+            // v1 with bech32 checksum
+            "bc1p38j9r5y49hruaue7wxjce0updqjuyyx0kh56v8s25huc6995vvpql3jow4",
+            // invalid witness version 17 is unencodable, but a bad program length:
+            "bc1pw5dgrnzv",
+        ] {
+            assert!(decode_segwit("bc", s).is_none(), "{s} should fail");
+        }
+    }
+
+    #[test]
+    fn segwit_round_trip() {
+        let program: Vec<u8> = (0u8..20).collect();
+        let addr = encode_segwit("bc", 0, &program).unwrap();
+        assert!(addr.starts_with("bc1q"));
+        let (v, p) = decode_segwit("bc", &addr).unwrap();
+        assert_eq!(v, 0);
+        assert_eq!(p, program);
+
+        let program32: Vec<u8> = (0u8..32).collect();
+        let addr = encode_segwit("bc", 1, &program32).unwrap();
+        assert!(addr.starts_with("bc1p"));
+        let (v, p) = decode_segwit("bc", &addr).unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(p, program32);
+    }
+
+    #[test]
+    fn encode_segwit_rejects_bad_inputs() {
+        assert!(encode_segwit("bc", 17, &[0u8; 20]).is_none());
+        assert!(encode_segwit("bc", 0, &[0u8; 19]).is_none());
+        assert!(encode_segwit("bc", 1, &[0u8; 41]).is_none());
+        assert!(encode_segwit("bc", 1, &[0u8; 1]).is_none());
+    }
+
+    #[test]
+    fn convert_bits_round_trip() {
+        let bytes: Vec<u8> = (0u8..=255).collect();
+        let five = convert_bits(&bytes, 8, 5, true).unwrap();
+        let back = convert_bits(&five, 5, 8, false).unwrap();
+        assert_eq!(back, bytes);
+    }
+
+    #[test]
+    fn convert_bits_rejects_out_of_range() {
+        assert!(convert_bits(&[32], 5, 8, false).is_none());
+    }
+}

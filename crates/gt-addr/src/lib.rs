@@ -1,0 +1,58 @@
+//! Cryptocurrency address generation and validation for BTC, ETH and XRP.
+//!
+//! This is the repository's stand-in for the `coinaddrvalidator` and
+//! `multicoin-address-validator` tools the paper used: a candidate string
+//! is *valid* iff it satisfies the real checksum construction of its coin.
+//! The same codecs also let the world generator mint syntactically genuine
+//! addresses for scam landing pages, victims and services.
+//!
+//! * BTC: Base58Check P2PKH (`1...`) / P2SH (`3...`) and Bech32/Bech32m
+//!   segwit (`bc1...`);
+//! * ETH: 20-byte hex with EIP-55 mixed-case checksum;
+//! * XRP: classic addresses in the Ripple Base58 dialect.
+
+pub mod address;
+pub mod base58;
+pub mod bech32;
+pub mod eth;
+pub mod xrp;
+
+pub use address::{Address, AddressError, AddressGenerator, BtcAddress, Coin};
+pub use eth::EthAddress;
+pub use xrp::XrpAddress;
+
+/// Validate a candidate string as any supported address type.
+///
+/// Returns the parsed address on success. This is the entry point the
+/// landing-page validator uses after `gt_text::scan_address_candidates`.
+pub fn validate_any(candidate: &str) -> Option<Address> {
+    Address::parse(candidate).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_any_accepts_each_kind() {
+        assert!(matches!(
+            validate_any("1A1zP1eP5QGefi2DMPTfTL5SLmv7DivfNa"),
+            Some(Address::Btc(_))
+        ));
+        assert!(matches!(
+            validate_any("0x5aAeb6053F3E94C9b9A09f33669435E7Ef1BeAed"),
+            Some(Address::Eth(_))
+        ));
+        assert!(matches!(
+            validate_any("rN7n7otQDd6FczFgLdSqtcsAUxDkw6fzRH"),
+            Some(Address::Xrp(_))
+        ));
+    }
+
+    #[test]
+    fn validate_any_rejects_noise() {
+        assert!(validate_any("not an address").is_none());
+        assert!(validate_any("").is_none());
+        assert!(validate_any("1A1zP1eP5QGefi2DMPTfTL5SLmv7DivfNb").is_none()); // bad checksum
+    }
+}

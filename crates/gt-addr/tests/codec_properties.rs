@@ -1,0 +1,101 @@
+//! Property-based tests for the address codecs.
+
+use gt_addr::base58::{self, BTC_ALPHABET, XRP_ALPHABET};
+use gt_addr::bech32;
+use gt_addr::{Address, BtcAddress, EthAddress, XrpAddress};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn base58_round_trips_btc(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let encoded = base58::encode(&data, BTC_ALPHABET);
+        prop_assert_eq!(base58::decode(&encoded, BTC_ALPHABET).unwrap(), data);
+    }
+
+    #[test]
+    fn base58_round_trips_xrp(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let encoded = base58::encode(&data, XRP_ALPHABET);
+        prop_assert_eq!(base58::decode(&encoded, XRP_ALPHABET).unwrap(), data);
+    }
+
+    #[test]
+    fn base58check_round_trips(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let encoded = base58::encode_check(&data, BTC_ALPHABET);
+        prop_assert_eq!(base58::decode_check(&encoded, BTC_ALPHABET).unwrap(), data);
+    }
+
+    #[test]
+    fn base58check_detects_truncation(data in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let encoded = base58::encode_check(&data, BTC_ALPHABET);
+        let truncated = &encoded[..encoded.len() - 1];
+        // Truncation may accidentally decode, but never to the same payload.
+        if let Some(p) = base58::decode_check(truncated, BTC_ALPHABET) {
+            prop_assert_ne!(p, data);
+        }
+    }
+
+    #[test]
+    fn bech32_round_trips(hrp in "[a-z]{1,10}", data in proptest::collection::vec(0u8..32, 0..50)) {
+        for variant in [bech32::Variant::Bech32, bech32::Variant::Bech32m] {
+            let s = bech32::encode(&hrp, &data, variant);
+            let (h2, d2, v2) = bech32::decode(&s).unwrap();
+            prop_assert_eq!(&h2, &hrp);
+            prop_assert_eq!(&d2, &data);
+            prop_assert_eq!(v2, variant);
+        }
+    }
+
+    #[test]
+    fn segwit_round_trips(version in 0u8..=16, len in 2usize..=40) {
+        // v0 only allows 20- or 32-byte programs.
+        prop_assume!(version != 0 || len == 20 || len == 32);
+        let program: Vec<u8> = (0..len).map(|i| (i * 7 + version as usize) as u8).collect();
+        let addr = bech32::encode_segwit("bc", version, &program).unwrap();
+        let (v, p) = bech32::decode_segwit("bc", &addr).unwrap();
+        prop_assert_eq!(v, version);
+        prop_assert_eq!(p, program);
+    }
+
+    #[test]
+    fn btc_addresses_round_trip(hash in any::<[u8; 20]>(), kind in 0u8..3) {
+        let addr = match kind {
+            0 => BtcAddress::P2pkh(hash),
+            1 => BtcAddress::P2sh(hash),
+            _ => BtcAddress::P2wpkh(hash),
+        };
+        let s = addr.encode();
+        prop_assert_eq!(BtcAddress::parse(&s).unwrap(), addr);
+        // And through the unified parser.
+        prop_assert_eq!(Address::parse(&s).unwrap(), Address::Btc(addr));
+    }
+
+    #[test]
+    fn eth_addresses_round_trip(bytes in any::<[u8; 20]>()) {
+        let addr = EthAddress(bytes);
+        let s = addr.to_checksum_string();
+        prop_assert_eq!(EthAddress::parse(&s).unwrap(), addr);
+        // Lowercase form also accepted.
+        prop_assert_eq!(EthAddress::parse(&s.to_ascii_lowercase()).unwrap(), addr);
+    }
+
+    #[test]
+    fn xrp_addresses_round_trip(bytes in any::<[u8; 20]>()) {
+        let addr = XrpAddress(bytes);
+        let s = addr.to_classic_string();
+        prop_assert!(s.starts_with('r'));
+        prop_assert_eq!(XrpAddress::parse(&s).unwrap(), addr);
+    }
+
+    #[test]
+    fn parse_never_panics_on_ascii_noise(s in "[ -~]{0,60}") {
+        let _ = Address::parse(&s);
+    }
+
+    #[test]
+    fn distinct_hashes_distinct_addresses(a in any::<[u8; 20]>(), b in any::<[u8; 20]>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(BtcAddress::P2pkh(a).encode(), BtcAddress::P2pkh(b).encode());
+        prop_assert_ne!(EthAddress(a).to_checksum_string(), EthAddress(b).to_checksum_string());
+        prop_assert_ne!(XrpAddress(a).to_classic_string(), XrpAddress(b).to_classic_string());
+    }
+}

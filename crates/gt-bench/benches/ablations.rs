@@ -1,0 +1,145 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * CoinJoin-aware vs naive multi-input clustering (false merges);
+//! * crawler hardening levels (site yield);
+//! * co-occurrence window width (payment attribution).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gt_bench::{bench_datasets, bench_world};
+use gt_cluster::clustering::{Clustering, ClusteringOptions};
+use gt_core::payments::analyze_twitter;
+use gt_sim::SimTime;
+use gt_web::{Crawler, CrawlerConfig, Url};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn ablate_clustering(c: &mut Criterion) {
+    let world = bench_world();
+    // Report the accuracy difference once.
+    let aware = Clustering::build_with(&world.chains.btc, ClusteringOptions { coinjoin_aware: true });
+    let naive = Clustering::build_with(&world.chains.btc, ClusteringOptions { coinjoin_aware: false });
+    println!(
+        "ablation clustering: aware {} clusters ({} CoinJoins skipped) vs naive {} clusters",
+        aware.cluster_count(),
+        aware.skipped_coinjoins,
+        naive.cluster_count()
+    );
+
+    c.bench_function("ablation/clustering_coinjoin_aware", |b| {
+        b.iter(|| {
+            black_box(Clustering::build_with(
+                &world.chains.btc,
+                ClusteringOptions { coinjoin_aware: true },
+            ))
+        })
+    });
+    c.bench_function("ablation/clustering_naive", |b| {
+        b.iter(|| {
+            black_box(Clustering::build_with(
+                &world.chains.btc,
+                ClusteringOptions { coinjoin_aware: false },
+            ))
+        })
+    });
+}
+
+fn ablate_crawler(c: &mut Criterion) {
+    let world = bench_world();
+    let urls: Vec<Url> = world
+        .truth
+        .youtube_domains
+        .iter()
+        .take(30)
+        .map(|d| Url::parse(&format!("https://{}/", d.domain)).unwrap())
+        .collect();
+    let at = world.config.youtube_start;
+
+    for (name, config) in [
+        ("hardened", CrawlerConfig::default()),
+        ("naive", CrawlerConfig::naive()),
+    ] {
+        // Report yield once.
+        let crawler = Crawler::new(config);
+        let reached = urls
+            .iter()
+            .filter(|u| crawler.crawl(&world.web, u, at).html().is_some())
+            .count();
+        println!("ablation crawler/{name}: {reached}/{} sites reached", urls.len());
+        c.bench_function(&format!("ablation/crawl_30_sites_{name}"), |b| {
+            let crawler = Crawler::new(config);
+            b.iter(|| {
+                black_box(
+                    urls.iter()
+                        .map(|u| crawler.crawl(&world.web, u, at))
+                        .filter(|o| o.html().is_some())
+                        .count(),
+                )
+            })
+        });
+    }
+
+    // Parallel crawl throughput.
+    c.bench_function("ablation/crawl_30_sites_parallel4", |b| {
+        let crawler = Crawler::new(CrawlerConfig::default());
+        b.iter(|| black_box(crawler.crawl_many(&world.web, &urls, at, 4)))
+    });
+}
+
+fn ablate_window(c: &mut Criterion) {
+    let world = bench_world();
+    let (twitter, _) = bench_datasets();
+    let known = HashSet::new();
+
+    // Sweep the co-occurrence window by shrinking tweet windows via the
+    // dataset (report-only: the attribution counts at different widths).
+    for days in [1i64, 3, 7, 14] {
+        let mut dataset_narrow = gt_core::datasets::TwitterDataset::default();
+        for d in &twitter.domains {
+            dataset_narrow.domains.push(gt_core::datasets::TwitterDomain {
+                domain: d.domain.clone(),
+                tweets: d.tweets.clone(),
+                // Truncate each window by moving the tweet later:
+                // analyze_twitter always adds 7 days, so shift times
+                // forward by (7 - days).
+                tweet_times: d
+                    .tweet_times
+                    .iter()
+                    .map(|&t| t + gt_sim::SimDuration::days(days - 7))
+                    .collect(),
+                addresses: d.addresses.clone(),
+            });
+        }
+        dataset_narrow.tweet_count = twitter.tweet_count;
+        let mut clustering = Clustering::build(&world.chains.btc);
+        let analysis = analyze_twitter(
+            &dataset_narrow,
+            &world.chains,
+            &world.prices,
+            &world.tags,
+            &mut clustering,
+            &known,
+        );
+        println!(
+            "ablation window {days}d: {} co-occurring payments, ${:.0} revenue",
+            analysis.funnel.payments_co_occurring_raw, analysis.revenue.usd_co_occurring
+        );
+    }
+
+    c.bench_function("ablation/co_occurrence_isolation", |b| {
+        b.iter(|| {
+            let mut clustering = Clustering::build(&world.chains.btc);
+            black_box(analyze_twitter(
+                twitter,
+                &world.chains,
+                &world.prices,
+                &world.tags,
+                &mut clustering,
+                &known,
+            ))
+        })
+    });
+    let _ = SimTime::EPOCH;
+}
+
+criterion_group!(benches, ablate_clustering, ablate_crawler, ablate_window);
+criterion_main!(benches);

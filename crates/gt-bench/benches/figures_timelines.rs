@@ -1,0 +1,78 @@
+//! Figures 3 & 4 — weekly lure-volume series, plus Figure 1/2
+//! artifact generation (landing-page HTML and livestream QR frames).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gt_bench::{bench_datasets, bench_monitor_report, bench_world};
+use gt_core::timeline::WeeklySeries;
+use gt_qr::{encode, EcLevel, Frame};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let world = bench_world();
+    let (twitter, youtube) = bench_datasets();
+    let report = bench_monitor_report();
+
+    // Figure 3: weekly scam-tweet volume.
+    c.bench_function("figure3/twitter_weekly_series", |b| {
+        b.iter(|| {
+            black_box(WeeklySeries::build(
+                world.config.twitter_start,
+                world.config.twitter_end,
+                twitter
+                    .domains
+                    .iter()
+                    .flat_map(|d| d.tweet_times.iter().map(|&t| (t, 0u64))),
+            ))
+        })
+    });
+
+    // Figure 4: weekly streams + views.
+    let observed: HashMap<_, _> = report.streams.iter().map(|s| (s.stream, s)).collect();
+    c.bench_function("figure4/youtube_weekly_series", |b| {
+        b.iter(|| {
+            black_box(WeeklySeries::build(
+                world.config.youtube_start,
+                world.config.youtube_end,
+                youtube.scam_streams.iter().filter_map(|sid| {
+                    observed.get(sid).map(|o| (o.first_seen, o.max_total_views))
+                }),
+            ))
+        })
+    });
+
+    // Print the two series once (the figure data).
+    let f3 = WeeklySeries::build(
+        world.config.twitter_start,
+        world.config.twitter_end,
+        twitter
+            .domains
+            .iter()
+            .flat_map(|d| d.tweet_times.iter().map(|&t| (t, 0u64))),
+    );
+    println!("Figure 3 (scale {}): {}", gt_bench::BENCH_SCALE, f3.sparkline());
+
+    // Figure 1: scam landing-page rendering.
+    let domain = &world.truth.twitter_domains[0];
+    c.bench_function("figure1/landing_page_html", |b| {
+        b.iter(|| {
+            black_box(gt_world::sites::landing_html(
+                &domain.persona,
+                &domain.addresses,
+            ))
+        })
+    });
+
+    // Figure 2: the livestream QR overlay frame.
+    c.bench_function("figure2/render_qr_frame", |b| {
+        b.iter(|| {
+            let matrix = encode(b"https://xrp-2x.live/claim", EcLevel::M).unwrap();
+            let mut frame = Frame::blank(320, 240);
+            frame.paint_qr(&matrix, 180, 100, 2);
+            black_box(frame)
+        })
+    });
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

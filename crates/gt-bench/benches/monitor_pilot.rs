@@ -1,0 +1,65 @@
+//! Appendix B — the monitoring pipeline itself: a pilot-window run
+//! (Figure 5 / QR persistence inputs) and the Twitch null-result sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gt_bench::bench_world;
+use gt_core::fig5::keyword_contribution;
+use gt_sim::SimDuration;
+use gt_stream::keywords::search_keyword_set;
+use gt_stream::monitor::{Monitor, MonitorConfig};
+use gt_stream::pilot::{qr_persistence, qr_stats};
+use gt_stream::twitch::run_twitch_pilot;
+use std::hint::black_box;
+
+fn bench_monitor(c: &mut Criterion) {
+    let world = bench_world();
+    let keywords = search_keyword_set();
+
+    // One full pilot run, reported.
+    let monitor = Monitor::new(
+        MonitorConfig::paper(world.config.pilot_start, world.config.pilot_end),
+        search_keyword_set(),
+    );
+    let report = monitor.run(&world.youtube, &world.web);
+    let stats = qr_stats(&qr_persistence(&report, SimDuration::seconds(450)));
+    let fig5 = keyword_contribution(&report, &keywords);
+    println!(
+        "pilot (scale {}): {} streams, {} leads, qr stats {:?}, fig5 keyword rate {:.2}",
+        gt_bench::BENCH_SCALE,
+        report.streams.len(),
+        report.leads.len(),
+        stats,
+        fig5.keyword_rate()
+    );
+
+    // A one-day monitoring slice as the repeatable benchmark unit.
+    c.bench_function("monitor/youtube_one_day", |b| {
+        b.iter(|| {
+            let m = Monitor::new(
+                MonitorConfig::paper(
+                    world.config.pilot_start,
+                    world.config.pilot_start + SimDuration::days(1),
+                ),
+                search_keyword_set(),
+            );
+            black_box(m.run(&world.youtube, &world.web))
+        })
+    });
+
+    c.bench_function("monitor/twitch_pilot_one_day", |b| {
+        b.iter(|| {
+            black_box(run_twitch_pilot(
+                &world.twitch,
+                world.config.pilot_start,
+                world.config.pilot_start + SimDuration::days(1),
+            ))
+        })
+    });
+
+    c.bench_function("monitor/fig5_keyword_contribution", |b| {
+        b.iter(|| black_box(keyword_contribution(&report, &keywords)))
+    });
+}
+
+criterion_group!(benches, bench_monitor);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Substrate micro-benchmarks: the building blocks every experiment
+//! leans on (QR codec, frame scanning, keyword automaton, address
+//! validation, Reed–Solomon correction, URL extraction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gt_qr::{decode, encode, scan_frame, EcLevel, Frame};
+use gt_stream::keywords::search_keyword_set;
+use gt_text::{extract_urls, scan_address_candidates};
+use std::hint::black_box;
+
+fn bench_qr(c: &mut Criterion) {
+    let url = b"https://xrp-double-event.live/claim?src=qr";
+    c.bench_function("qr/encode_v5_H", |b| {
+        b.iter(|| black_box(encode(url, EcLevel::H).unwrap()))
+    });
+    let matrix = encode(url, EcLevel::H).unwrap();
+    c.bench_function("qr/decode_clean", |b| {
+        b.iter(|| black_box(decode(&matrix).unwrap()))
+    });
+    let mut damaged = matrix.clone();
+    let size = damaged.size();
+    let mut flipped = 0;
+    'outer: for r in 9..size - 9 {
+        for col in 9..size - 9 {
+            if !damaged.is_function(r, col) && (r + col) % 9 == 0 {
+                let v = damaged.get(r, col);
+                damaged.set(r, col, !v);
+                flipped += 1;
+                if flipped >= 12 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    c.bench_function("qr/decode_with_rs_correction", |b| {
+        b.iter(|| black_box(decode(&damaged).unwrap()))
+    });
+
+    let mut frame = Frame::blank(320, 240);
+    frame.paint_qr(&matrix, 180, 100, 2);
+    c.bench_function("qr/scan_frame_320x240_hit", |b| {
+        b.iter(|| black_box(scan_frame(&frame)))
+    });
+    let blank = Frame::blank(320, 240);
+    c.bench_function("qr/scan_frame_320x240_miss", |b| {
+        b.iter(|| black_box(scan_frame(&blank)))
+    });
+}
+
+fn bench_text(c: &mut Criterion) {
+    let keywords = search_keyword_set();
+    let title = "Elon Musk LIVE: 5000 BITCOIN & RIPPLE giveaway — double your crypto!";
+    c.bench_function("text/keyword_match_title", |b| {
+        b.iter(|| black_box(keywords.search.matches(title)))
+    });
+    let chat = "hello! participate here: https://xrp-double-event.live/claim and also www.backup-link.net soon";
+    c.bench_function("text/extract_urls_chat", |b| {
+        b.iter(|| black_box(extract_urls(chat)))
+    });
+    let html = format!(
+        "<html>{} send to 1A1zP1eP5QGefi2DMPTfTL5SLmv7DivfNa or \
+         0x5aAeb6053F3E94C9b9A09f33669435E7Ef1BeAed or \
+         rHb9CJAWyB4rj91VRWn96DkukG4bwdtyTh now</html>",
+        "filler text ".repeat(50)
+    );
+    c.bench_function("text/scan_address_candidates_page", |b| {
+        b.iter(|| black_box(scan_address_candidates(&html)))
+    });
+}
+
+fn bench_addr(c: &mut Criterion) {
+    c.bench_function("addr/validate_btc_base58check", |b| {
+        b.iter(|| black_box(gt_addr::validate_any("1A1zP1eP5QGefi2DMPTfTL5SLmv7DivfNa")))
+    });
+    c.bench_function("addr/validate_eth_eip55", |b| {
+        b.iter(|| black_box(gt_addr::validate_any("0x5aAeb6053F3E94C9b9A09f33669435E7Ef1BeAed")))
+    });
+    c.bench_function("addr/validate_bech32", |b| {
+        b.iter(|| {
+            black_box(gt_addr::validate_any(
+                "bc1qw508d6qejxtdg4y5r3zarvary0c5xw7kv8f3t4",
+            ))
+        })
+    });
+    c.bench_function("addr/reject_garbage", |b| {
+        b.iter(|| black_box(gt_addr::validate_any("1A1zP1eP5QGefi2DMPTfTL5SLmv7DivfNb")))
+    });
+}
+
+criterion_group!(benches, bench_qr, bench_text, bench_addr);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table 1 — dataset assembly cost for both platforms.
+//!
+//! Regenerates the Table 1 rows (domains / accounts / artifacts) and
+//! measures the two assembly paths: the Twitter domain-index join and
+//! the YouTube validate-and-attach pass over a monitoring report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gt_bench::{bench_datasets, bench_monitor_report, bench_world};
+use gt_core::datasets::{build_twitter_dataset, build_youtube_dataset, Table1};
+use gt_stream::keywords::search_keyword_set;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let world = bench_world();
+    let report = bench_monitor_report();
+    let keywords = search_keyword_set();
+
+    // Print the regenerated table once, so the bench doubles as the
+    // Table 1 harness.
+    let (twitter, youtube) = bench_datasets();
+    let table1 = Table1::new(twitter, youtube);
+    println!("Table 1 (scale {}): {table1:?}", gt_bench::BENCH_SCALE);
+
+    c.bench_function("table1/build_twitter_dataset", |b| {
+        b.iter(|| black_box(build_twitter_dataset(&world.twitter, &world.scam_db)))
+    });
+    c.bench_function("table1/build_youtube_dataset", |b| {
+        b.iter(|| black_box(build_youtube_dataset(report, &keywords)))
+    });
+    c.bench_function("table1/domain_index_lookup", |b| {
+        let domain = &twitter.domains[0].domain;
+        b.iter(|| black_box(world.twitter.tweets_with_domain(domain)))
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Table 2 — payment isolation and revenue computation.
+//!
+//! Regenerates both platforms' revenue rows and measures the
+//! co-occurrence isolation pass (the heart of Section 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gt_bench::{bench_datasets, bench_world};
+use gt_cluster::Clustering;
+use gt_core::payments::{analyze_twitter, analyze_youtube};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let world = bench_world();
+    let (twitter, youtube) = bench_datasets();
+
+    let mut known = HashSet::new();
+    for d in &twitter.domains {
+        known.extend(d.addresses.iter().copied());
+    }
+    for d in &youtube.domains {
+        known.extend(d.validation.addresses.iter().copied());
+    }
+
+    // Print the regenerated Table 2 once.
+    {
+        let mut clustering = Clustering::build(&world.chains.btc);
+        let tw = analyze_twitter(twitter, &world.chains, &world.prices, &world.tags, &mut clustering, &known);
+        let yt = analyze_youtube(youtube, &world.chains, &world.prices, &world.tags, &mut clustering, &known);
+        println!("Table 2 (scale {}):", gt_bench::BENCH_SCALE);
+        println!("  Twitter: {:?}", tw.revenue);
+        println!("  YouTube: {:?}", yt.revenue);
+    }
+
+    c.bench_function("table2/analyze_twitter", |b| {
+        b.iter(|| {
+            let mut clustering = Clustering::build(&world.chains.btc);
+            black_box(analyze_twitter(
+                twitter,
+                &world.chains,
+                &world.prices,
+                &world.tags,
+                &mut clustering,
+                &known,
+            ))
+        })
+    });
+    c.bench_function("table2/analyze_youtube", |b| {
+        b.iter(|| {
+            let mut clustering = Clustering::build(&world.chains.btc);
+            black_box(analyze_youtube(
+                youtube,
+                &world.chains,
+                &world.prices,
+                &world.tags,
+                &mut clustering,
+                &known,
+            ))
+        })
+    });
+    c.bench_function("table2/clustering_build", |b| {
+        b.iter(|| black_box(Clustering::build(&world.chains.btc)))
+    });
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Sections 5.4 & 5.5 — conversions, payment origins, whale
+//! distribution, recipient clustering, cash-out classification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gt_bench::{bench_datasets, bench_world};
+use gt_cluster::Clustering;
+use gt_core::payments::{analyze_twitter, analyze_youtube, PaymentAnalysis};
+use gt_core::{scammers, victims};
+use std::collections::HashSet;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn analyses() -> &'static (PaymentAnalysis, PaymentAnalysis) {
+    static A: OnceLock<(PaymentAnalysis, PaymentAnalysis)> = OnceLock::new();
+    A.get_or_init(|| {
+        let world = bench_world();
+        let (twitter, youtube) = bench_datasets();
+        let mut known = HashSet::new();
+        for d in &twitter.domains {
+            known.extend(d.addresses.iter().copied());
+        }
+        for d in &youtube.domains {
+            known.extend(d.validation.addresses.iter().copied());
+        }
+        let mut clustering = Clustering::build(&world.chains.btc);
+        (
+            analyze_twitter(twitter, &world.chains, &world.prices, &world.tags, &mut clustering, &known),
+            analyze_youtube(youtube, &world.chains, &world.prices, &world.tags, &mut clustering, &known),
+        )
+    })
+}
+
+fn bench_sections(c: &mut Criterion) {
+    let world = bench_world();
+    let (tw, yt) = analyses();
+
+    // Print the section numbers once.
+    {
+        let mut clustering = Clustering::build(&world.chains.btc);
+        let conv = victims::conversions(tw, 45_725);
+        let whales = victims::whale_distribution(tw);
+        let recips = scammers::recipient_stats(&[tw, yt], &mut clustering);
+        println!("S5.4/5.5 (scale {}):", gt_bench::BENCH_SCALE);
+        println!("  conversions: {conv:?}");
+        println!("  whales: {whales:?}");
+        println!("  recipients: {recips:?}");
+    }
+
+    c.bench_function("s5.4/conversions", |b| {
+        b.iter(|| black_box(victims::conversions(tw, 45_725)))
+    });
+    c.bench_function("s5.4/whale_distribution", |b| {
+        b.iter(|| black_box(victims::whale_distribution(tw)))
+    });
+    c.bench_function("s5.4/payment_origins", |b| {
+        b.iter(|| {
+            let mut clustering = Clustering::build(&world.chains.btc);
+            black_box(victims::payment_origins(&[tw, yt], &world.tags, &mut clustering))
+        })
+    });
+    c.bench_function("s5.5/recipient_stats", |b| {
+        b.iter(|| {
+            let mut clustering = Clustering::build(&world.chains.btc);
+            black_box(scammers::recipient_stats(&[tw, yt], &mut clustering))
+        })
+    });
+    c.bench_function("s5.5/outgoing_stats", |b| {
+        b.iter(|| {
+            let mut clustering = Clustering::build(&world.chains.btc);
+            black_box(scammers::outgoing_stats(
+                &[tw, yt],
+                &world.chains,
+                &world.tags,
+                &mut clustering,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_sections);
+criterion_main!(benches);

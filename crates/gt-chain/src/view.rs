@@ -1,0 +1,89 @@
+//! Unified cross-chain query surface.
+//!
+//! The analysis pipeline asks one question of "the blockchain": what are
+//! the incoming/outgoing transfers of this address? `ChainView` owns the
+//! three ledgers and dispatches per address type.
+
+use crate::btc::BtcLedger;
+use crate::eth::EthLedger;
+use crate::types::Transfer;
+use crate::xrp::XrpLedger;
+use gt_addr::Address;
+
+/// The three ledgers behind one query interface.
+#[derive(Debug, Default)]
+pub struct ChainView {
+    pub btc: BtcLedger,
+    pub eth: EthLedger,
+    pub xrp: XrpLedger,
+}
+
+impl ChainView {
+    pub fn new() -> Self {
+        ChainView {
+            btc: BtcLedger::new(),
+            eth: EthLedger::new(),
+            xrp: XrpLedger::new(),
+        }
+    }
+
+    /// All transfers into `address`, in confirmation order.
+    pub fn incoming(&self, address: Address) -> Vec<Transfer> {
+        match address {
+            Address::Btc(a) => self.btc.incoming(a),
+            Address::Eth(a) => self.eth.incoming(a),
+            Address::Xrp(a) => self.xrp.incoming(a),
+        }
+    }
+
+    /// All transfers out of `address`, in confirmation order.
+    pub fn outgoing(&self, address: Address) -> Vec<Transfer> {
+        match address {
+            Address::Btc(a) => self.btc.outgoing(a),
+            Address::Eth(a) => self.eth.outgoing(a),
+            Address::Xrp(a) => self.xrp.outgoing(a),
+        }
+    }
+
+    /// Total number of transactions across all three chains.
+    pub fn total_tx_count(&self) -> u64 {
+        self.btc.tx_count() + self.eth.tx_count() + self.xrp.payment_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Amount;
+    use gt_addr::{BtcAddress, EthAddress, XrpAddress};
+    use gt_sim::SimTime;
+
+    #[test]
+    fn dispatches_per_chain() {
+        let mut view = ChainView::new();
+        let t = SimTime(1_700_000_000);
+
+        let b1 = BtcAddress::P2pkh([1; 20]);
+        let b2 = BtcAddress::P2pkh([2; 20]);
+        view.btc.coinbase(b1, Amount(100_000), t).unwrap();
+        view.btc
+            .pay(&[b1], b2, Amount(50_000), b1, Amount(0), t)
+            .unwrap();
+
+        let e1 = EthAddress([1; 20]);
+        let e2 = EthAddress([2; 20]);
+        view.eth.mint(e1, Amount(10), t).unwrap();
+        view.eth.transfer(e1, e2, Amount(5), t).unwrap();
+
+        let x1 = XrpAddress([1; 20]);
+        let x2 = XrpAddress([2; 20]);
+        view.xrp.fund(x1, Amount(1_000), t).unwrap();
+        view.xrp.send(x1, x2, Amount(100), None, t).unwrap();
+
+        assert_eq!(view.incoming(Address::Btc(b2)).len(), 1);
+        assert_eq!(view.incoming(Address::Eth(e2)).len(), 1);
+        assert_eq!(view.incoming(Address::Xrp(x2)).len(), 1);
+        assert_eq!(view.outgoing(Address::Eth(e1)).len(), 1);
+        assert_eq!(view.total_tx_count(), 2 + 1 + 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests for the ledger simulators: value conservation,
+//! double-spend safety, and index consistency under random workloads.
+
+use gt_addr::BtcAddress;
+use gt_addr::{EthAddress, XrpAddress};
+use gt_chain::{Amount, BtcLedger, EthLedger, OutPoint, TxOut, XrpLedger};
+use gt_sim::SimTime;
+use proptest::prelude::*;
+
+fn addr(i: u8) -> BtcAddress {
+    BtcAddress::P2pkh([i; 20])
+}
+
+/// A random scripted BTC workload: coinbases then payments.
+#[derive(Debug, Clone)]
+enum BtcAction {
+    Coinbase { to: u8, value: u64 },
+    Pay { from: u8, to: u8, value: u64, fee: u64 },
+}
+
+fn btc_action() -> impl Strategy<Value = BtcAction> {
+    prop_oneof![
+        (0u8..8, 1_000u64..10_000_000).prop_map(|(to, value)| BtcAction::Coinbase { to, value }),
+        (0u8..8, 0u8..8, 1u64..5_000_000, 0u64..10_000)
+            .prop_map(|(from, to, value, fee)| BtcAction::Pay { from, to, value, fee }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn btc_value_is_conserved(actions in proptest::collection::vec(btc_action(), 1..60)) {
+        let mut ledger = BtcLedger::new();
+        let mut minted: u64 = 0;
+        let mut fees: u64 = 0;
+        let mut t = SimTime(1_700_000_000);
+        for action in actions {
+            t = SimTime(t.0 + 60);
+            match action {
+                BtcAction::Coinbase { to, value } => {
+                    ledger.coinbase(addr(to), Amount(value), t).unwrap();
+                    minted += value;
+                }
+                BtcAction::Pay { from, to, value, fee } => {
+                    // May fail on insufficient funds: that's fine.
+                    if ledger
+                        .pay(&[addr(from)], addr(to), Amount(value), addr(from), Amount(fee), t)
+                        .is_ok()
+                    {
+                        fees += fee;
+                    }
+                }
+            }
+        }
+        let total_balance: u64 = (0..8).map(|i| ledger.balance(addr(i)).0).sum();
+        prop_assert_eq!(total_balance + fees, minted, "supply conservation");
+    }
+
+    #[test]
+    fn btc_every_outpoint_spent_at_most_once(actions in proptest::collection::vec(btc_action(), 1..60)) {
+        let mut ledger = BtcLedger::new();
+        let mut t = SimTime(1_700_000_000);
+        for action in actions {
+            t = SimTime(t.0 + 60);
+            match action {
+                BtcAction::Coinbase { to, value } => {
+                    ledger.coinbase(addr(to), Amount(value), t).unwrap();
+                }
+                BtcAction::Pay { from, to, value, fee } => {
+                    let _ = ledger.pay(&[addr(from)], addr(to), Amount(value), addr(from), Amount(fee), t);
+                }
+            }
+        }
+        // Count how many times each outpoint appears as an input.
+        let mut spends = std::collections::HashMap::new();
+        for tx in ledger.txs() {
+            for (op, _) in &tx.inputs {
+                *spends.entry(*op).or_insert(0u32) += 1;
+            }
+        }
+        for (op, n) in spends {
+            prop_assert_eq!(n, 1, "outpoint {:?} spent {} times", op, n);
+        }
+    }
+
+    #[test]
+    fn btc_explicit_double_spend_always_rejected(value in 1_000u64..1_000_000) {
+        let mut ledger = BtcLedger::new();
+        let t = SimTime(1_700_000_000);
+        ledger.coinbase(addr(0), Amount(value), t).unwrap();
+        let op = OutPoint { tx_index: 0, vout: 0 };
+        let out = TxOut { address: addr(1), value: Amount(value / 2) };
+        ledger.submit(&[op], &[out], t).unwrap();
+        prop_assert!(ledger.submit(&[op], &[out], t).is_err());
+    }
+
+    #[test]
+    fn eth_value_is_conserved(
+        mints in proptest::collection::vec((0u8..6, 1u64..1_000_000), 1..20),
+        transfers in proptest::collection::vec((0u8..6, 0u8..6, 1u64..500_000), 0..40),
+    ) {
+        let mut ledger = EthLedger::new();
+        let t = SimTime(1_700_000_000);
+        let mut minted: u64 = 0;
+        for (to, value) in mints {
+            ledger.mint(EthAddress([to; 20]), Amount(value), t).unwrap();
+            minted += value;
+        }
+        for (from, to, value) in transfers {
+            let _ = ledger.transfer(EthAddress([from; 20]), EthAddress([to; 20]), Amount(value), t);
+        }
+        let total: u64 = (0..6).map(|i| ledger.balance(EthAddress([i; 20])).0).sum();
+        prop_assert_eq!(total, minted);
+    }
+
+    #[test]
+    fn xrp_conservation_minus_burned_fees(
+        funds in proptest::collection::vec((0u8..6, 1_000u64..1_000_000), 1..20),
+        sends in proptest::collection::vec((0u8..6, 0u8..6, 1u64..200_000), 0..40),
+    ) {
+        let mut ledger = XrpLedger::new();
+        let t = SimTime(1_700_000_000);
+        let mut funded: u64 = 0;
+        for (to, value) in funds {
+            ledger.fund(XrpAddress([to; 20]), Amount(value), t).unwrap();
+            funded += value;
+        }
+        let mut ok_sends = 0u64;
+        for (from, to, value) in sends {
+            if from != to
+                && ledger
+                    .send(XrpAddress([from; 20]), XrpAddress([to; 20]), Amount(value), None, t)
+                    .is_ok()
+            {
+                ok_sends += 1;
+            }
+        }
+        let total: u64 = (0..6).map(|i| ledger.balance(XrpAddress([i; 20])).0).sum();
+        prop_assert_eq!(total + ok_sends * gt_chain::xrp::PAYMENT_FEE_DROPS, funded);
+    }
+
+    #[test]
+    fn incoming_outgoing_are_consistent_views(
+        transfers in proptest::collection::vec((0u8..5, 0u8..5, 1u64..100_000), 1..30),
+    ) {
+        let mut ledger = EthLedger::new();
+        let t = SimTime(1_700_000_000);
+        for i in 0..5 {
+            ledger.mint(EthAddress([i; 20]), Amount(10_000_000), t).unwrap();
+        }
+        for (from, to, value) in &transfers {
+            let _ = ledger.transfer(
+                EthAddress([*from; 20]),
+                EthAddress([*to; 20]),
+                Amount(*value),
+                t,
+            );
+        }
+        // Every incoming transfer of B from A appears as an outgoing
+        // transfer of A to B.
+        for b in 0..5u8 {
+            for transfer in ledger.incoming(EthAddress([b; 20])) {
+                let sender = transfer.senders[0];
+                let gt_addr::Address::Eth(sender_eth) = sender else { panic!() };
+                let matching = ledger
+                    .outgoing(sender_eth)
+                    .into_iter()
+                    .any(|o| o.tx == transfer.tx);
+                prop_assert!(matching, "missing outgoing mirror for {:?}", transfer.tx);
+            }
+        }
+    }
+}

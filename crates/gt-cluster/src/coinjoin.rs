@@ -1,0 +1,114 @@
+//! CoinJoin detection.
+//!
+//! The multi-input heuristic assumes all inputs of a transaction are
+//! controlled by one entity. CoinJoin deliberately violates that
+//! assumption: several participants contribute inputs and receive
+//! equal-valued outputs. Chainalysis avoids this false positive with
+//! proprietary heuristics; we use the standard published shape test.
+
+use gt_chain::BtcTx;
+use std::collections::HashMap;
+
+/// Minimum number of equal-valued outputs for the CoinJoin shape.
+pub const MIN_EQUAL_OUTPUTS: usize = 3;
+
+/// Whether `tx` has the CoinJoin shape:
+///
+/// * at least [`MIN_EQUAL_OUTPUTS`] outputs share one exact value, and
+/// * the number of distinct input addresses is at least that count
+///   (each participant funds at least one input).
+pub fn looks_like_coinjoin(tx: &BtcTx) -> bool {
+    if tx.coinbase {
+        return false;
+    }
+    let mut value_counts: HashMap<u64, usize> = HashMap::new();
+    for o in &tx.outputs {
+        *value_counts.entry(o.value.0).or_insert(0) += 1;
+    }
+    let max_equal = value_counts.values().copied().max().unwrap_or(0);
+    if max_equal < MIN_EQUAL_OUTPUTS {
+        return false;
+    }
+    tx.input_addresses().len() >= max_equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_chain::{Amount, BtcLedger, OutPoint, TxOut};
+    use gt_addr::BtcAddress;
+    use gt_sim::SimTime;
+
+    fn addr(b: u8) -> BtcAddress {
+        BtcAddress::P2pkh([b; 20])
+    }
+
+    fn t(s: i64) -> SimTime {
+        SimTime(1_700_000_000 + s)
+    }
+
+    fn funded_ledger(n: usize, value: u64) -> BtcLedger {
+        let mut ledger = BtcLedger::new();
+        for i in 0..n {
+            ledger.coinbase(addr(i as u8), Amount(value), t(i as i64)).unwrap();
+        }
+        ledger
+    }
+
+    #[test]
+    fn classic_coinjoin_detected() {
+        let mut ledger = funded_ledger(4, 10_000);
+        let inputs: Vec<OutPoint> =
+            (0..4).map(|i| OutPoint { tx_index: i, vout: 0 }).collect();
+        let outputs: Vec<TxOut> = (10..14)
+            .map(|b| TxOut { address: addr(b), value: Amount(9_900) })
+            .collect();
+        let idx = ledger.submit(&inputs, &outputs, t(10)).unwrap();
+        assert!(looks_like_coinjoin(ledger.tx(idx).unwrap()));
+    }
+
+    #[test]
+    fn ordinary_payment_not_detected() {
+        let mut ledger = funded_ledger(1, 100_000);
+        ledger
+            .pay(&[addr(0)], addr(9), Amount(40_000), addr(0), Amount(100), t(5))
+            .unwrap();
+        assert!(!looks_like_coinjoin(ledger.tx(1).unwrap()));
+    }
+
+    #[test]
+    fn consolidation_not_detected() {
+        // Many inputs, one output: typical scammer consolidation.
+        let mut ledger = funded_ledger(5, 10_000);
+        let inputs: Vec<OutPoint> =
+            (0..5).map(|i| OutPoint { tx_index: i, vout: 0 }).collect();
+        let outputs = vec![TxOut { address: addr(9), value: Amount(49_000) }];
+        let idx = ledger.submit(&inputs, &outputs, t(10)).unwrap();
+        assert!(!looks_like_coinjoin(ledger.tx(idx).unwrap()));
+    }
+
+    #[test]
+    fn equal_outputs_but_single_input_owner_not_detected() {
+        // One entity fanning out equal amounts (e.g. an exchange hot
+        // wallet batching) — fewer distinct input addresses than equal
+        // outputs.
+        let mut ledger = BtcLedger::new();
+        ledger.coinbase(addr(0), Amount(10_000), t(0)).unwrap();
+        ledger.coinbase(addr(0), Amount(10_000), t(1)).unwrap();
+        let inputs = [
+            OutPoint { tx_index: 0, vout: 0 },
+            OutPoint { tx_index: 1, vout: 0 },
+        ];
+        let outputs: Vec<TxOut> = (10..14)
+            .map(|b| TxOut { address: addr(b), value: Amount(4_900) })
+            .collect();
+        let idx = ledger.submit(&inputs, &outputs, t(2)).unwrap();
+        assert!(!looks_like_coinjoin(ledger.tx(idx).unwrap()));
+    }
+
+    #[test]
+    fn coinbase_never_coinjoin() {
+        let ledger = funded_ledger(1, 10_000);
+        assert!(!looks_like_coinjoin(ledger.tx(0).unwrap()));
+    }
+}

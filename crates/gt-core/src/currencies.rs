@@ -1,0 +1,133 @@
+//! Coin targeting (Section 4.3): which currencies the lures reference.
+
+use crate::datasets::{TwitterDataset, YouTubeDataset};
+use gt_social::TwitterSnapshot;
+use gt_stream::monitor::MonitorReport;
+use gt_text::KeywordSet;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The coins the analysis reports on, with their match keywords.
+const COIN_TAGS: [(&str, &[&str]); 3] = [
+    ("bitcoin", &["bitcoin", "btc"]),
+    ("ethereum", &["ethereum", "eth"]),
+    ("ripple", &["ripple", "xrp"]),
+];
+
+/// Per-coin reference rates among lures. Rates can sum past 1.0 since a
+/// lure can reference several coins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoinRates {
+    pub lures: usize,
+    /// (coin name, fraction of lures referencing it), sorted descending.
+    pub rates: Vec<(String, f64)>,
+}
+
+impl CoinRates {
+    pub fn rate_of(&self, coin: &str) -> f64 {
+        self.rates
+            .iter()
+            .find(|(c, _)| c == coin)
+            .map(|&(_, r)| r)
+            .unwrap_or(0.0)
+    }
+}
+
+fn tag_sets() -> Vec<(String, KeywordSet)> {
+    COIN_TAGS
+        .iter()
+        .map(|(name, kws)| (name.to_string(), KeywordSet::new(kws.iter().copied())))
+        .collect()
+}
+
+fn finish(mut counts: HashMap<String, usize>, lures: usize) -> CoinRates {
+    let mut rates: Vec<(String, f64)> = COIN_TAGS
+        .iter()
+        .map(|(name, _)| {
+            (
+                name.to_string(),
+                counts.remove(*name).unwrap_or(0) as f64 / lures.max(1) as f64,
+            )
+        })
+        .collect();
+    rates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    CoinRates { lures, rates }
+}
+
+/// Coin reference rates among scam tweets (matched on hashtags, as the
+/// paper does).
+pub fn twitter_coin_rates(dataset: &TwitterDataset, snapshot: &TwitterSnapshot) -> CoinRates {
+    let sets = tag_sets();
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut lures = 0usize;
+    for domain in &dataset.domains {
+        for &id in &domain.tweets {
+            let tweet = snapshot.tweet(id).expect("dataset tweet exists");
+            lures += 1;
+            let haystack = tweet.hashtags.join(" ");
+            for (name, set) in &sets {
+                if set.matches(&haystack) {
+                    *counts.entry(name.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    finish(counts, lures)
+}
+
+/// Coin reference rates among scam streams (title, channel name and
+/// description, as the paper does).
+pub fn youtube_coin_rates(dataset: &YouTubeDataset, report: &MonitorReport) -> CoinRates {
+    let sets = tag_sets();
+    let observed: HashMap<_, _> = report.streams.iter().map(|s| (s.stream, s)).collect();
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut lures = 0usize;
+    for &sid in &dataset.scam_streams {
+        let Some(obs) = observed.get(&sid) else {
+            continue;
+        };
+        lures += 1;
+        for (name, set) in &sets {
+            if set.matches(&obs.title)
+                || set.matches(&obs.description)
+                || set.matches(&obs.channel_name)
+            {
+                *counts.entry(name.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+    finish(counts, lures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::build_twitter_dataset;
+    use gt_sim::RngFactory;
+    use gt_world::sites::DomainFactory;
+    use gt_world::WorldConfig;
+
+    #[test]
+    fn twitter_ripple_dominates() {
+        let config = WorldConfig::scaled(0.05);
+        let factory = RngFactory::new(2);
+        let mut snapshot = TwitterSnapshot::new();
+        let mut df = DomainFactory::new();
+        let world = gt_world::twitter_gen::generate(&config, &factory, &mut df, &mut snapshot);
+        let dataset = build_twitter_dataset(&snapshot, &world.scam_db);
+        let rates = twitter_coin_rates(&dataset, &snapshot);
+        assert_eq!(rates.rates[0].0, "ripple", "XRP is the top coin");
+        assert!(rates.rate_of("ripple") > 0.8);
+        assert!(rates.rate_of("ripple") > rates.rate_of("ethereum"));
+        assert!(rates.rate_of("ethereum") > rates.rate_of("bitcoin"));
+    }
+
+    #[test]
+    fn rate_of_unknown_coin_is_zero() {
+        let rates = CoinRates {
+            lures: 10,
+            rates: vec![("bitcoin".into(), 0.5)],
+        };
+        assert_eq!(rates.rate_of("dogecoin"), 0.0);
+    }
+}

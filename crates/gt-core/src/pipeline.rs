@@ -1,0 +1,208 @@
+//! End-to-end orchestration: run the paper's entire measurement and
+//! analysis pipeline over a generated world.
+
+use crate::datasets::{build_twitter_dataset, build_youtube_dataset, Table1};
+use crate::payments::{analyze_twitter, analyze_youtube, PaymentAnalysis};
+use crate::report::{PaperReport, QrPilotSummary, TwitchSummary};
+use crate::timeline::WeeklySeries;
+use crate::{currencies, discover, fig5, scammers, victims};
+use gt_addr::Address;
+use gt_cluster::Clustering;
+use gt_sim::SimDuration;
+use gt_stream::keywords::search_keyword_set;
+use gt_stream::monitor::{Monitor, MonitorConfig, MonitorReport};
+use gt_stream::pilot::{qr_persistence, qr_stats};
+use gt_stream::twitch::run_twitch_pilot;
+use gt_world::World;
+use std::collections::{HashMap, HashSet};
+
+/// Everything the pipeline produced (intermediates kept for deeper
+/// inspection; the summary lives in [`PaperReport`]).
+pub struct PaperRun {
+    pub report: PaperReport,
+    pub twitter_dataset: crate::datasets::TwitterDataset,
+    pub youtube_dataset: crate::datasets::YouTubeDataset,
+    pub monitor_report: MonitorReport,
+    pub pilot_report: MonitorReport,
+    pub twitter_analysis: PaymentAnalysis,
+    pub youtube_analysis: PaymentAnalysis,
+}
+
+/// Run the full pipeline.
+pub fn run_paper_pipeline(world: &World) -> PaperRun {
+    let keywords = search_keyword_set();
+    let config = &world.config;
+
+    // ---- Twitter (retrospective) ----
+    let twitter_dataset = build_twitter_dataset(&world.twitter, &world.scam_db);
+
+    // ---- Pilot study (prospective) ----
+    let pilot_monitor = Monitor::new(
+        MonitorConfig::paper(config.pilot_start, config.pilot_end),
+        search_keyword_set(),
+    );
+    let pilot_report = pilot_monitor.run(&world.youtube, &world.web);
+
+    // ---- Main YouTube window (prospective) ----
+    let monitor = Monitor::new(
+        MonitorConfig::paper(config.youtube_start, config.youtube_end),
+        search_keyword_set(),
+    );
+    let monitor_report = monitor.run(&world.youtube, &world.web);
+    let youtube_dataset = build_youtube_dataset(&monitor_report, &keywords);
+
+    // ---- blockchain analysis ----
+    let mut clustering = Clustering::build(&world.chains.btc);
+    // Known scam addresses: everything the two datasets identified.
+    let mut known_scam: HashSet<Address> = HashSet::new();
+    for d in &twitter_dataset.domains {
+        known_scam.extend(d.addresses.iter().copied());
+    }
+    for d in &youtube_dataset.domains {
+        known_scam.extend(d.validation.addresses.iter().copied());
+    }
+
+    let twitter_analysis = analyze_twitter(
+        &twitter_dataset,
+        &world.chains,
+        &world.prices,
+        &world.tags,
+        &mut clustering,
+        &known_scam,
+    );
+    let youtube_analysis = analyze_youtube(
+        &youtube_dataset,
+        &world.chains,
+        &world.prices,
+        &world.tags,
+        &mut clustering,
+        &known_scam,
+    );
+
+    // ---- Section 4: lures ----
+    let twitter_weekly = WeeklySeries::build(
+        config.twitter_start,
+        config.twitter_end,
+        twitter_dataset
+            .domains
+            .iter()
+            .flat_map(|d| d.tweet_times.iter().map(|&t| (t, 0u64))),
+    );
+    let observed: HashMap<_, _> = monitor_report
+        .streams
+        .iter()
+        .map(|s| (s.stream, s))
+        .collect();
+    let youtube_weekly = WeeklySeries::build(
+        config.youtube_start,
+        config.youtube_end,
+        youtube_dataset.scam_streams.iter().filter_map(|sid| {
+            observed
+                .get(sid)
+                .map(|obs| (obs.first_seen, obs.max_total_views))
+        }),
+    );
+
+    let twitter_discover = discover::twitter_discoverability(&twitter_dataset, &world.twitter);
+    let youtube_discover =
+        discover::youtube_discoverability(&youtube_dataset, &monitor_report, &keywords);
+    let twitter_coins = currencies::twitter_coin_rates(&twitter_dataset, &world.twitter);
+    let youtube_coins = currencies::youtube_coin_rates(&youtube_dataset, &monitor_report);
+
+    // ---- Section 5.4: victims ----
+    let total_views: u64 = youtube_dataset
+        .scam_streams
+        .iter()
+        .filter_map(|sid| observed.get(sid).map(|o| o.max_total_views))
+        .sum();
+    let twitter_conversions =
+        victims::conversions(&twitter_analysis, twitter_dataset.tweet_count as u64);
+    let youtube_conversions = victims::conversions(&youtube_analysis, total_views);
+    let origins = victims::payment_origins(
+        &[&twitter_analysis, &youtube_analysis],
+        &world.tags,
+        &mut clustering,
+    );
+    let twitter_whales = victims::whale_distribution(&twitter_analysis);
+    let youtube_whales = victims::whale_distribution(&youtube_analysis);
+
+    // ---- Section 5.5: scammers ----
+    let recipients = scammers::recipient_stats(
+        &[&twitter_analysis, &youtube_analysis],
+        &mut clustering,
+    );
+    let outgoing = scammers::outgoing_stats(
+        &[&twitter_analysis, &youtube_analysis],
+        &world.chains,
+        &world.tags,
+        &mut clustering,
+    );
+
+    // ---- Appendix B ----
+    let persistences = qr_persistence(&pilot_report, SimDuration::seconds(450));
+    let qr_pilot = qr_stats(&persistences).map(|s| QrPilotSummary {
+        tracked: s.tracked,
+        mean_seconds: s.mean_seconds,
+        median_seconds: s.median_seconds,
+        intermittent: s.intermittent,
+    });
+    let twitch_report = run_twitch_pilot(&world.twitch, config.pilot_start, config.pilot_end);
+    let twitch = TwitchSummary {
+        streams_listed: twitch_report.streams_listed,
+        candidates: twitch_report.candidates,
+        scams_found: twitch_report.qr_hits,
+    };
+    let fig5 = fig5::keyword_contribution(&pilot_report, &keywords);
+
+    // ---- Section 6.2 extension: exchange-side intervention sweep ----
+    let interventions = crate::interventions::lag_sweep(
+        &[&twitter_analysis, &youtube_analysis],
+        &world.tags,
+        &mut clustering,
+        &[
+            SimDuration::ZERO,
+            SimDuration::hours(1),
+            SimDuration::hours(8),
+            SimDuration::days(1),
+            SimDuration::days(3),
+            SimDuration::days(7),
+        ],
+    );
+
+    let report = PaperReport {
+        table1: Table1::new(&twitter_dataset, &youtube_dataset),
+        twitter_revenue: twitter_analysis.revenue,
+        youtube_revenue: youtube_analysis.revenue,
+        twitter_funnel: twitter_analysis.funnel,
+        youtube_funnel: youtube_analysis.funnel,
+        twitter_weekly,
+        youtube_weekly,
+        twitter_discover,
+        youtube_discover,
+        twitter_coins,
+        youtube_coins,
+        twitter_conversions,
+        youtube_conversions,
+        origins,
+        twitter_whales,
+        youtube_whales,
+        recipients,
+        twitter_recipients: scammers::distinct_recipients(&twitter_analysis),
+        youtube_recipients: scammers::distinct_recipients(&youtube_analysis),
+        outgoing,
+        qr_pilot,
+        twitch,
+        fig5,
+        interventions,
+    };
+
+    PaperRun {
+        report,
+        twitter_dataset,
+        youtube_dataset,
+        monitor_report,
+        pilot_report,
+        twitter_analysis,
+        youtube_analysis,
+    }
+}

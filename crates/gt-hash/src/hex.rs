@@ -1,0 +1,47 @@
+//! Minimal hex encoding/decoding.
+
+/// Lowercase hex encoding of a byte slice.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    s
+}
+
+/// Decode a hex string (case-insensitive). Returns `None` on odd length or
+/// non-hex characters.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data = [0x00, 0x01, 0xab, 0xff];
+        assert_eq!(to_hex(&data), "0001abff");
+        assert_eq!(from_hex("0001abff").unwrap(), data);
+        assert_eq!(from_hex("0001ABFF").unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(from_hex("abc").is_none(), "odd length");
+        assert!(from_hex("zz").is_none(), "non-hex chars");
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+    }
+}

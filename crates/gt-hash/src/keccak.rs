@@ -1,0 +1,175 @@
+//! Keccak-256 (the pre-NIST padding variant used by Ethereum).
+//!
+//! Ethereum's EIP-55 checksummed addresses hash the lowercase hex address
+//! with Keccak-256 (*not* SHA3-256 — the domain-separation padding differs:
+//! Keccak uses `0x01`, SHA-3 uses `0x06`).
+
+const RC: [u64; 24] = [
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808a,
+    0x8000000080008000,
+    0x000000000000808b,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008a,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000a,
+    0x000000008000808b,
+    0x800000000000008b,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800a,
+    0x800000008000000a,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
+];
+
+const RHO: [u32; 24] = [
+    1, 3, 6, 10, 15, 21, 28, 36, 45, 55, 2, 14, 27, 41, 56, 8, 25, 43, 62, 18, 39, 61, 20, 44,
+];
+
+const PI: [usize; 24] = [
+    10, 7, 11, 17, 18, 3, 5, 16, 8, 21, 24, 4, 15, 23, 19, 13, 12, 2, 20, 14, 22, 9, 6, 1,
+];
+
+fn keccak_f1600(state: &mut [u64; 25]) {
+    for rc in RC {
+        // Theta
+        let mut c = [0u64; 5];
+        for x in 0..5 {
+            c[x] = state[x] ^ state[x + 5] ^ state[x + 10] ^ state[x + 15] ^ state[x + 20];
+        }
+        for x in 0..5 {
+            let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+            for y in 0..5 {
+                state[x + 5 * y] ^= d;
+            }
+        }
+        // Rho and Pi
+        let mut last = state[1];
+        for i in 0..24 {
+            let j = PI[i];
+            let tmp = state[j];
+            state[j] = last.rotate_left(RHO[i]);
+            last = tmp;
+        }
+        // Chi
+        for y in 0..5 {
+            let row: [u64; 5] = std::array::from_fn(|x| state[5 * y + x]);
+            for x in 0..5 {
+                state[5 * y + x] = row[x] ^ (!row[(x + 1) % 5] & row[(x + 2) % 5]);
+            }
+        }
+        // Iota
+        state[0] ^= rc;
+    }
+}
+
+/// One-shot Keccak-256.
+pub fn keccak256(data: &[u8]) -> [u8; 32] {
+    const RATE: usize = 136; // 1600 - 2*256 bits, in bytes
+    let mut state = [0u64; 25];
+
+    let mut chunks = data.chunks_exact(RATE);
+    for block in &mut chunks {
+        absorb(&mut state, block);
+        keccak_f1600(&mut state);
+    }
+    // Final partial block with multi-rate padding 0x01 .. 0x80.
+    let rem = chunks.remainder();
+    let mut last = [0u8; RATE];
+    last[..rem.len()].copy_from_slice(rem);
+    last[rem.len()] ^= 0x01;
+    last[RATE - 1] ^= 0x80;
+    absorb(&mut state, &last);
+    keccak_f1600(&mut state);
+
+    let mut out = [0u8; 32];
+    for i in 0..4 {
+        out[i * 8..i * 8 + 8].copy_from_slice(&state[i].to_le_bytes());
+    }
+    out
+}
+
+fn absorb(state: &mut [u64; 25], block: &[u8]) {
+    for (i, chunk) in block.chunks_exact(8).enumerate() {
+        state[i] ^= u64::from_le_bytes([
+            chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
+        ]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex::to_hex;
+
+    #[test]
+    fn empty() {
+        assert_eq!(
+            to_hex(&keccak256(b"")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(
+            to_hex(&keccak256(b"abc")),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+    }
+
+    #[test]
+    fn hello_eth_style() {
+        // keccak256("hello") as computed by Solidity/web3.
+        assert_eq!(
+            to_hex(&keccak256(b"hello")),
+            "1c8aff950685c2ed4bc3174f3472287b56d9517b9c948127319a09a7a36deac8"
+        );
+    }
+
+    #[test]
+    fn exactly_one_rate_block() {
+        // 136 bytes: forces an extra all-padding block.
+        let data = vec![0xaau8; 136];
+        let h1 = keccak256(&data);
+        let h2 = keccak256(&data);
+        assert_eq!(h1, h2);
+        assert_ne!(h1, keccak256(&data[..135]));
+    }
+
+    #[test]
+    fn multi_block_input() {
+        let data = vec![0x42u8; 1000];
+        // Self-consistency plus sensitivity to the last byte.
+        let mut data2 = data.clone();
+        data2[999] ^= 1;
+        assert_ne!(keccak256(&data), keccak256(&data2));
+    }
+
+    #[test]
+    fn eip55_fixture_address_hash() {
+        // The first bytes of keccak256("52908400098527886e0f7030069857d2e4169ee7")
+        // decide the EIP-55 capitalisation of that address; pin the digest.
+        let digest = keccak256(b"52908400098527886e0f7030069857d2e4169ee7");
+        // All-caps fixture from EIP-55 means every hex digit's nibble >= 8.
+        let hex = to_hex(&digest);
+        for (i, c) in hex.chars().take(40).enumerate() {
+            let addr_char = "52908400098527886e0f7030069857d2e4169ee7".as_bytes()[i] as char;
+            if addr_char.is_ascii_alphabetic() {
+                assert!(
+                    c.to_digit(16).unwrap() >= 8,
+                    "nibble {i} should force uppercase"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Calibrated monthly price anchors.
+//!
+//! Approximate month-start spot prices for BTC, ETH and XRP over the
+//! period covered by the paper's two measurement windows (the Twitter
+//! window in early 2022 and the YouTube window from July 2023 to January
+//! 2024), extended a little on both sides so co-occurrence windows never
+//! fall off the series.
+
+use gt_addr::Coin;
+use gt_sim::CivilDate;
+
+/// A (date, USD price) anchor.
+#[derive(Debug, Clone, Copy)]
+pub struct Anchor {
+    pub date: CivilDate,
+    pub usd: f64,
+}
+
+const fn a(year: i32, month: u8, usd: f64) -> Anchor {
+    Anchor {
+        date: CivilDate::new(year, month, 1),
+        usd,
+    }
+}
+
+/// Month-start anchors for BTC.
+pub const BTC_ANCHORS: &[Anchor] = &[
+    a(2020, 1, 7_200.0),
+    a(2020, 7, 9_100.0),
+    a(2021, 1, 29_400.0),
+    a(2021, 7, 33_500.0),
+    a(2021, 11, 61_000.0),
+    a(2022, 1, 46_300.0),
+    a(2022, 2, 38_500.0),
+    a(2022, 3, 43_200.0),
+    a(2022, 4, 45_500.0),
+    a(2022, 5, 38_600.0),
+    a(2022, 6, 31_800.0),
+    a(2022, 7, 19_300.0),
+    a(2022, 10, 19_400.0),
+    a(2023, 1, 16_600.0),
+    a(2023, 4, 28_500.0),
+    a(2023, 7, 30_500.0),
+    a(2023, 8, 29_200.0),
+    a(2023, 9, 26_000.0),
+    a(2023, 10, 27_000.0),
+    a(2023, 11, 34_600.0),
+    a(2023, 12, 37_700.0),
+    a(2024, 1, 42_300.0),
+    a(2024, 2, 43_100.0),
+    a(2024, 4, 69_000.0),
+];
+
+/// Month-start anchors for ETH.
+pub const ETH_ANCHORS: &[Anchor] = &[
+    a(2020, 1, 130.0),
+    a(2020, 7, 230.0),
+    a(2021, 1, 740.0),
+    a(2021, 7, 2_100.0),
+    a(2021, 11, 4_300.0),
+    a(2022, 1, 3_700.0),
+    a(2022, 2, 2_700.0),
+    a(2022, 3, 2_900.0),
+    a(2022, 4, 3_450.0),
+    a(2022, 5, 2_830.0),
+    a(2022, 6, 1_940.0),
+    a(2022, 7, 1_070.0),
+    a(2022, 10, 1_330.0),
+    a(2023, 1, 1_200.0),
+    a(2023, 4, 1_820.0),
+    a(2023, 7, 1_930.0),
+    a(2023, 8, 1_860.0),
+    a(2023, 9, 1_650.0),
+    a(2023, 10, 1_670.0),
+    a(2023, 11, 1_800.0),
+    a(2023, 12, 2_050.0),
+    a(2024, 1, 2_280.0),
+    a(2024, 2, 2_300.0),
+    a(2024, 4, 3_500.0),
+];
+
+/// Month-start anchors for XRP.
+pub const XRP_ANCHORS: &[Anchor] = &[
+    a(2020, 1, 0.19),
+    a(2020, 7, 0.18),
+    a(2021, 1, 0.22),
+    a(2021, 7, 0.66),
+    a(2021, 11, 1.08),
+    a(2022, 1, 0.83),
+    a(2022, 2, 0.60),
+    a(2022, 3, 0.72),
+    a(2022, 4, 0.81),
+    a(2022, 5, 0.60),
+    a(2022, 6, 0.40),
+    a(2022, 7, 0.31),
+    a(2022, 10, 0.45),
+    a(2023, 1, 0.34),
+    a(2023, 4, 0.51),
+    a(2023, 7, 0.47),
+    a(2023, 8, 0.70),
+    a(2023, 9, 0.50),
+    a(2023, 10, 0.51),
+    a(2023, 11, 0.60),
+    a(2023, 12, 0.62),
+    a(2024, 1, 0.62),
+    a(2024, 2, 0.52),
+    a(2024, 4, 0.60),
+];
+
+/// The anchor table for a coin.
+pub fn anchors_for(coin: Coin) -> &'static [Anchor] {
+    match coin {
+        Coin::Btc => BTC_ANCHORS,
+        Coin::Eth => ETH_ANCHORS,
+        Coin::Xrp => XRP_ANCHORS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_are_sorted_and_positive() {
+        for coin in Coin::ALL {
+            let table = anchors_for(coin);
+            assert!(table.len() >= 2);
+            for pair in table.windows(2) {
+                assert!(
+                    pair[0].date.at_midnight() < pair[1].date.at_midnight(),
+                    "{coin} anchors out of order at {}",
+                    pair[1].date
+                );
+            }
+            for anchor in table {
+                assert!(anchor.usd > 0.0);
+                assert!(anchor.date.is_valid());
+            }
+        }
+    }
+
+    #[test]
+    fn btc_2022_crash_is_present() {
+        // Jan 2022 > Jul 2022 by more than 2x — the crash the paper's
+        // revenue normalisation lives through.
+        let jan = BTC_ANCHORS.iter().find(|x| x.date == CivilDate::new(2022, 1, 1)).unwrap();
+        let jul = BTC_ANCHORS.iter().find(|x| x.date == CivilDate::new(2022, 7, 1)).unwrap();
+        assert!(jan.usd / jul.usd > 2.0);
+    }
+}

@@ -1,0 +1,15 @@
+//! Synthetic daily USD price oracle.
+//!
+//! The paper normalises payments "using the average USD price of each coin
+//! on the day of the payment" (from Yahoo Finance historical data). That
+//! feed is replaced here by a deterministic synthetic series per coin:
+//! log-space interpolation between calibrated monthly anchor levels of the
+//! real 2020–2024 market, plus seeded daily log-normal jitter. The result
+//! has the properties the analysis depends on — strictly positive, daily
+//! resolution, realistic levels (BTC crashing through 2022, recovering
+//! into 2024) — without shipping scraped data.
+
+pub mod anchors;
+pub mod oracle;
+
+pub use oracle::PriceOracle;

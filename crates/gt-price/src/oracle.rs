@@ -1,0 +1,176 @@
+//! Daily price lookup with deterministic jitter.
+
+use crate::anchors::anchors_for;
+use gt_addr::Coin;
+use gt_sim::{CivilDate, RngFactory, SimTime};
+use std::collections::HashMap;
+
+/// Deterministic daily USD prices for the supported coins.
+///
+/// Prices are log-interpolated between monthly anchors, then perturbed by
+/// a seeded ±few-percent daily factor so two consecutive days never share
+/// an identical price (matching the day-resolution normalisation the
+/// paper performs).
+#[derive(Debug)]
+pub struct PriceOracle {
+    /// coin → (first day number, daily prices).
+    series: HashMap<Coin, (i64, Vec<f64>)>,
+}
+
+/// Daily jitter magnitude (standard deviation of the log factor).
+const DAILY_JITTER_SIGMA: f64 = 0.018;
+
+impl PriceOracle {
+    /// Build the oracle with jitter drawn from `rng_factory`.
+    pub fn new(rng_factory: &RngFactory) -> Self {
+        let mut series = HashMap::new();
+        for coin in Coin::ALL {
+            let anchors = anchors_for(coin);
+            let first_day = anchors.first().unwrap().date.at_midnight().day_number();
+            let last_day = anchors.last().unwrap().date.at_midnight().day_number();
+            let mut rng = rng_factory.rng(&format!("price-{}", coin.ticker()));
+            let mut prices = Vec::with_capacity((last_day - first_day + 1) as usize);
+            let mut anchor_idx = 0usize;
+            for day in first_day..=last_day {
+                while anchor_idx + 1 < anchors.len()
+                    && anchors[anchor_idx + 1].date.at_midnight().day_number() <= day
+                {
+                    anchor_idx += 1;
+                }
+                let base = if anchor_idx + 1 == anchors.len() {
+                    anchors[anchor_idx].usd
+                } else {
+                    let a = &anchors[anchor_idx];
+                    let b = &anchors[anchor_idx + 1];
+                    let a_day = a.date.at_midnight().day_number();
+                    let b_day = b.date.at_midnight().day_number();
+                    let t = (day - a_day) as f64 / (b_day - a_day) as f64;
+                    (a.usd.ln() * (1.0 - t) + b.usd.ln() * t).exp()
+                };
+                let z = gt_sim::dist::sample_standard_normal(&mut rng);
+                prices.push(base * (DAILY_JITTER_SIGMA * z).exp());
+            }
+            series.insert(coin, (first_day, prices));
+        }
+        PriceOracle { series }
+    }
+
+    /// The average USD price of `coin` on `date`.
+    ///
+    /// Dates outside the anchored range clamp to the nearest endpoint.
+    pub fn price_on(&self, coin: Coin, date: CivilDate) -> f64 {
+        let (first_day, prices) = &self.series[&coin];
+        let day = date.at_midnight().day_number();
+        let idx = (day - first_day).clamp(0, prices.len() as i64 - 1) as usize;
+        prices[idx]
+    }
+
+    /// The price of `coin` on the day containing `at`.
+    pub fn price_at(&self, coin: Coin, at: SimTime) -> f64 {
+        self.price_on(coin, at.date())
+    }
+
+    /// Convert an amount in base units to USD at the price of the day.
+    pub fn to_usd(&self, coin: Coin, base_units: u64, at: SimTime) -> f64 {
+        let coins = base_units as f64 / coin.base_units_per_coin() as f64;
+        coins * self.price_at(coin, at)
+    }
+
+    /// Convert a USD amount into base units at the price of the day.
+    pub fn from_usd(&self, coin: Coin, usd: f64, at: SimTime) -> u64 {
+        let coins = usd / self.price_at(coin, at);
+        (coins * coin.base_units_per_coin() as f64).round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_sim::SimDuration;
+
+    fn oracle() -> PriceOracle {
+        PriceOracle::new(&RngFactory::new(7))
+    }
+
+    #[test]
+    fn prices_are_near_anchor_levels() {
+        let o = oracle();
+        let p = o.price_on(Coin::Btc, CivilDate::new(2022, 1, 1));
+        assert!((40_000.0..53_000.0).contains(&p), "BTC Jan 2022: {p}");
+        let p = o.price_on(Coin::Eth, CivilDate::new(2022, 7, 1));
+        assert!((900.0..1_300.0).contains(&p), "ETH Jul 2022: {p}");
+        let p = o.price_on(Coin::Xrp, CivilDate::new(2023, 8, 1));
+        assert!((0.55..0.85).contains(&p), "XRP Aug 2023: {p}");
+    }
+
+    #[test]
+    fn interpolation_is_monotone_in_trend() {
+        // BTC falls from June to July 2022; mid-June should sit between.
+        let o = oracle();
+        let jun = o.price_on(Coin::Btc, CivilDate::new(2022, 6, 1));
+        let mid = o.price_on(Coin::Btc, CivilDate::new(2022, 6, 16));
+        let jul = o.price_on(Coin::Btc, CivilDate::new(2022, 7, 1));
+        assert!(jun > mid * 0.95 && mid * 0.95 > jul * 0.8, "{jun} {mid} {jul}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = PriceOracle::new(&RngFactory::new(1));
+        let b = PriceOracle::new(&RngFactory::new(1));
+        let c = PriceOracle::new(&RngFactory::new(2));
+        let d = CivilDate::new(2023, 9, 15);
+        assert_eq!(a.price_on(Coin::Btc, d), b.price_on(Coin::Btc, d));
+        assert_ne!(a.price_on(Coin::Btc, d), c.price_on(Coin::Btc, d));
+    }
+
+    #[test]
+    fn consecutive_days_differ() {
+        let o = oracle();
+        let d1 = o.price_on(Coin::Eth, CivilDate::new(2023, 10, 10));
+        let d2 = o.price_on(Coin::Eth, CivilDate::new(2023, 10, 11));
+        assert_ne!(d1, d2);
+        // ...but not wildly (jitter is a few percent).
+        assert!((d1 / d2).ln().abs() < 0.25);
+    }
+
+    #[test]
+    fn out_of_range_dates_clamp() {
+        let o = oracle();
+        let before = o.price_on(Coin::Btc, CivilDate::new(2010, 1, 1));
+        let first = o.price_on(Coin::Btc, CivilDate::new(2020, 1, 1));
+        assert_eq!(before, first);
+        let after = o.price_on(Coin::Btc, CivilDate::new(2030, 1, 1));
+        let last = o.price_on(Coin::Btc, CivilDate::new(2024, 4, 1));
+        assert_eq!(after, last);
+    }
+
+    #[test]
+    fn usd_conversion_round_trips() {
+        let o = oracle();
+        let at = SimTime::from_ymd(2023, 11, 5) + SimDuration::hours(13);
+        for coin in Coin::ALL {
+            let units = o.from_usd(coin, 500.0, at);
+            let usd = o.to_usd(coin, units, at);
+            assert!((usd - 500.0).abs() < 0.01, "{coin}: {usd}");
+        }
+    }
+
+    #[test]
+    fn to_usd_scales_linearly() {
+        let o = oracle();
+        let at = SimTime::from_ymd(2022, 3, 10);
+        let one = o.to_usd(Coin::Btc, 100_000_000, at);
+        let two = o.to_usd(Coin::Btc, 200_000_000, at);
+        assert!((two - 2.0 * one).abs() < 1e-6);
+        // One BTC in March 2022 is tens of thousands of dollars.
+        assert!((30_000.0..60_000.0).contains(&one), "{one}");
+    }
+
+    #[test]
+    fn price_at_uses_day_of_timestamp() {
+        let o = oracle();
+        let morning = SimTime::from_ymd_hms(2023, 8, 20, 1, 0, 0);
+        let evening = SimTime::from_ymd_hms(2023, 8, 20, 23, 0, 0);
+        assert_eq!(o.price_at(Coin::Xrp, morning), o.price_at(Coin::Xrp, evening));
+    }
+}

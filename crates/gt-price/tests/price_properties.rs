@@ -1,0 +1,53 @@
+//! Property tests for the price oracle.
+
+use gt_addr::Coin;
+use gt_price::PriceOracle;
+use gt_sim::{RngFactory, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn prices_always_positive_and_bounded(
+        seed in any::<u64>(),
+        day in 18_200i64..19_900, // 2020..2024-ish
+    ) {
+        let oracle = PriceOracle::new(&RngFactory::new(seed));
+        let t = SimTime(day * 86_400);
+        for coin in Coin::ALL {
+            let p = oracle.price_at(coin, t);
+            prop_assert!(p > 0.0);
+            prop_assert!(p < 200_000.0, "{coin} at {p}");
+        }
+        // Ordering of magnitudes is stable: BTC > ETH > XRP always in
+        // this period.
+        prop_assert!(oracle.price_at(Coin::Btc, t) > oracle.price_at(Coin::Eth, t));
+        prop_assert!(oracle.price_at(Coin::Eth, t) > oracle.price_at(Coin::Xrp, t));
+    }
+
+    #[test]
+    fn usd_round_trip_is_tight(
+        usd in 1.0f64..1_000_000.0,
+        day in 18_300i64..19_800,
+        seed in any::<u64>(),
+    ) {
+        let oracle = PriceOracle::new(&RngFactory::new(seed));
+        let t = SimTime(day * 86_400);
+        for coin in Coin::ALL {
+            let units = oracle.from_usd(coin, usd, t);
+            let back = oracle.to_usd(coin, units, t);
+            // Unit rounding: one base unit of slack.
+            let unit_usd = oracle.price_at(coin, t) / coin.base_units_per_coin() as f64;
+            prop_assert!((back - usd).abs() <= unit_usd + 1e-6, "{coin}: {usd} -> {back}");
+        }
+    }
+
+    #[test]
+    fn daily_moves_are_bounded(seed in any::<u64>(), day in 18_300i64..19_790) {
+        let oracle = PriceOracle::new(&RngFactory::new(seed));
+        let a = oracle.price_at(Coin::Btc, SimTime(day * 86_400));
+        let b = oracle.price_at(Coin::Btc, SimTime((day + 1) * 86_400));
+        let log_move = (a / b).ln().abs();
+        // Interpolation plus jitter never produces a >35% daily move.
+        prop_assert!(log_move < 0.30, "move {log_move}");
+    }
+}

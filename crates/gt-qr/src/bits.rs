@@ -1,0 +1,122 @@
+//! Bit-stream writer/reader for codeword assembly.
+
+/// Append-only bit buffer (MSB-first within bytes).
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bits: Vec<bool>,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Append the low `count` bits of `value`, most significant first.
+    pub fn push(&mut self, value: u32, count: usize) {
+        assert!(count <= 32);
+        for i in (0..count).rev() {
+            self.bits.push((value >> i) & 1 == 1);
+        }
+    }
+
+    pub fn push_byte(&mut self, b: u8) {
+        self.push(u32::from(b), 8);
+    }
+
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Pack into bytes, zero-padding the final partial byte.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.bits.len().div_ceil(8)];
+        for (i, &bit) in self.bits.iter().enumerate() {
+            if bit {
+                out[i / 8] |= 1 << (7 - i % 8);
+            }
+        }
+        out
+    }
+}
+
+/// MSB-first bit reader over a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0 }
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() * 8 - self.pos
+    }
+
+    /// Read `count` bits as a big-endian integer; `None` if exhausted.
+    pub fn read(&mut self, count: usize) -> Option<u32> {
+        assert!(count <= 32);
+        if self.remaining() < count {
+            return None;
+        }
+        let mut value = 0u32;
+        for _ in 0..count {
+            let byte = self.data[self.pos / 8];
+            let bit = (byte >> (7 - self.pos % 8)) & 1;
+            value = (value << 1) | u32::from(bit);
+            self.pos += 1;
+        }
+        Some(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_packs_msb_first() {
+        let mut w = BitWriter::new();
+        w.push(0b0100, 4); // byte-mode indicator
+        w.push(0b1010_1010, 8);
+        assert_eq!(w.len(), 12);
+        assert_eq!(w.to_bytes(), vec![0b0100_1010, 0b1010_0000]);
+    }
+
+    #[test]
+    fn round_trip_through_reader() {
+        let mut w = BitWriter::new();
+        w.push(0b101, 3);
+        w.push(0xbeef, 16);
+        w.push_byte(0x42);
+        let bytes = w.to_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(3), Some(0b101));
+        assert_eq!(r.read(16), Some(0xbeef));
+        assert_eq!(r.read(8), Some(0x42));
+    }
+
+    #[test]
+    fn reader_stops_at_end() {
+        let data = [0xff];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.remaining(), 8);
+        assert_eq!(r.read(8), Some(0xff));
+        assert_eq!(r.read(1), None);
+    }
+
+    #[test]
+    fn zero_count_reads() {
+        let data = [0xab];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.read(0), Some(0));
+        assert_eq!(r.remaining(), 8);
+    }
+}

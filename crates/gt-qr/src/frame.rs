@@ -1,0 +1,391 @@
+//! Locating and sampling a QR symbol inside a video frame.
+//!
+//! The measurement pipeline samples two-second clips of each livestream
+//! and scans the frames for QR codes. Frames here are luma grids; the
+//! scanner finds finder patterns by their 1:1:3:1:1 dark/light run
+//! signature, infers the module size and grid origin, samples the
+//! modules, and hands the matrix to [`crate::decode()`].
+//!
+//! Upright symbols at any integer scale and position are supported
+//! (matching how scam streams embed static overlay QR graphics).
+
+use crate::decode::{decode, DecodeError};
+use crate::matrix::Matrix;
+use crate::tables::version_for_size;
+
+/// A grayscale frame. Values ≥ 128 are treated as light.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    pub width: usize,
+    pub height: usize,
+    /// Row-major luma values.
+    pub luma: Vec<u8>,
+}
+
+impl Frame {
+    /// A blank (white) frame.
+    pub fn blank(width: usize, height: usize) -> Self {
+        Frame {
+            width,
+            height,
+            luma: vec![255; width * height],
+        }
+    }
+
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        self.luma[y * self.width + x]
+    }
+
+    pub fn set(&mut self, x: usize, y: usize, v: u8) {
+        self.luma[y * self.width + x] = v;
+    }
+
+    fn dark(&self, x: usize, y: usize) -> bool {
+        self.get(x, y) < 128
+    }
+
+    /// Paint a QR matrix into the frame at (`left`, `top`) with
+    /// `scale` pixels per module, surrounded by a 4-module quiet zone.
+    pub fn paint_qr(&mut self, matrix: &Matrix, left: usize, top: usize, scale: usize) {
+        assert!(scale >= 1);
+        let quiet = 4 * scale;
+        let span = matrix.size() * scale + 2 * quiet;
+        assert!(
+            left + span <= self.width && top + span <= self.height,
+            "QR of span {span} does not fit at ({left},{top}) in {}x{}",
+            self.width,
+            self.height
+        );
+        // Quiet zone.
+        for y in 0..span {
+            for x in 0..span {
+                self.set(left + x, top + y, 255);
+            }
+        }
+        for r in 0..matrix.size() {
+            for c in 0..matrix.size() {
+                let v = if matrix.get(r, c) { 0 } else { 255 };
+                for dy in 0..scale {
+                    for dx in 0..scale {
+                        self.set(left + quiet + c * scale + dx, top + quiet + r * scale + dy, v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A located finder-pattern candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FinderCandidate {
+    center_x: f64,
+    center_y: f64,
+    module_size: f64,
+}
+
+/// Scan a row (or column) for 1:1:3:1:1 dark/light run signatures.
+fn row_candidates(frame: &Frame, y: usize) -> Vec<FinderCandidate> {
+    let mut out = Vec::new();
+    let mut runs: Vec<(bool, usize, usize)> = Vec::new(); // (dark, start, len)
+    let mut x = 0;
+    while x < frame.width {
+        let dark = frame.dark(x, y);
+        let start = x;
+        while x < frame.width && frame.dark(x, y) == dark {
+            x += 1;
+        }
+        runs.push((dark, start, x - start));
+    }
+    // A finder row signature: dark, light, dark(3x), light, dark with
+    // ratios 1:1:3:1:1.
+    for w in runs.windows(5) {
+        let [(d0, s0, l0), (d1, _, l1), (d2, _, l2), (d3, _, l3), (d4, _, l4)] =
+            [w[0], w[1], w[2], w[3], w[4]];
+        if !(d0 && !d1 && d2 && !d3 && d4) {
+            continue;
+        }
+        let unit = (l0 + l1 + l2 + l3 + l4) as f64 / 7.0;
+        let ok = |len: usize, expect: f64| {
+            let tol = (unit * 0.5).max(0.5);
+            (len as f64 - expect * unit).abs() <= tol * expect.max(1.0)
+        };
+        if ok(l0, 1.0) && ok(l1, 1.0) && ok(l2, 3.0) && ok(l3, 1.0) && ok(l4, 1.0) {
+            out.push(FinderCandidate {
+                center_x: s0 as f64 + (l0 + l1 + l2 + l3 + l4) as f64 / 2.0,
+                center_y: y as f64,
+                module_size: unit,
+            });
+        }
+    }
+    // silence unused-variable warning for s-values of inner runs
+    out
+}
+
+/// Verify a horizontal candidate by checking the same signature
+/// vertically through its centre.
+fn verify_vertical(frame: &Frame, cand: &FinderCandidate) -> bool {
+    let x = cand.center_x.round() as usize;
+    if x >= frame.width {
+        return false;
+    }
+    let cy = cand.center_y.round() as isize;
+    // Walk up and down from the centre collecting run lengths.
+    let count_run = |mut y: isize, step: isize, dark: bool| -> usize {
+        let mut n = 0;
+        while y >= 0
+            && (y as usize) < frame.height
+            && frame.dark(x, y as usize) == dark
+        {
+            n += 1;
+            y += step;
+        }
+        n
+    };
+    let core_up = count_run(cy, -1, true);
+    let core_down = count_run(cy + 1, 1, true);
+    let core = core_up + core_down;
+    let white_up = count_run(cy - core_up as isize, -1, false);
+    let white_down = count_run(cy + core_down as isize + 1, 1, false);
+    let cap_up = count_run(cy - core_up as isize - white_up as isize, -1, true);
+    let cap_down = count_run(
+        cy + core_down as isize + white_down as isize + 1,
+        1,
+        true,
+    );
+    let unit = cand.module_size;
+    let near = |v: usize, expect: f64| (v as f64 - expect * unit).abs() <= unit * 0.75 + 0.5;
+    near(core, 3.0)
+        && near(white_up, 1.0)
+        && near(white_down, 1.0)
+        && near(cap_up, 1.0)
+        && near(cap_down, 1.0)
+}
+
+/// Cluster nearby candidates into distinct finder patterns.
+fn cluster(cands: Vec<FinderCandidate>) -> Vec<FinderCandidate> {
+    let mut clusters: Vec<(FinderCandidate, usize)> = Vec::new();
+    for c in cands {
+        let mut merged = false;
+        for (rep, n) in &mut clusters {
+            if (rep.center_x - c.center_x).abs() < rep.module_size * 2.0
+                && (rep.center_y - c.center_y).abs() < rep.module_size * 2.0
+            {
+                // Running average.
+                let total = *n as f64;
+                rep.center_x = (rep.center_x * total + c.center_x) / (total + 1.0);
+                rep.center_y = (rep.center_y * total + c.center_y) / (total + 1.0);
+                rep.module_size = (rep.module_size * total + c.module_size) / (total + 1.0);
+                *n += 1;
+                merged = true;
+                break;
+            }
+        }
+        if !merged {
+            clusters.push((c, 1));
+        }
+    }
+    clusters.into_iter().map(|(c, _)| c).collect()
+}
+
+/// A decoded QR payload with its location in the frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameHit {
+    pub payload: Vec<u8>,
+    /// Top-left pixel of the symbol (excluding quiet zone).
+    pub left: usize,
+    pub top: usize,
+    /// Symbol side length in modules.
+    pub symbol_size: usize,
+}
+
+/// Scan `frame` for upright QR symbols and decode them.
+pub fn scan_frame(frame: &Frame) -> Vec<FrameHit> {
+    // Collect horizontal candidates on every row (cheap — frames are
+    // small in the pipeline), verify vertically, cluster.
+    let mut cands = Vec::new();
+    for y in 0..frame.height {
+        for c in row_candidates(frame, y) {
+            if verify_vertical(frame, &c) {
+                cands.push(c);
+            }
+        }
+    }
+    let finders = cluster(cands);
+    if finders.len() < 3 {
+        return Vec::new();
+    }
+
+    // Try every triple that forms an axis-aligned right angle:
+    // top-left, top-right, bottom-left.
+    let mut hits: Vec<FrameHit> = Vec::new();
+    for (i, tl) in finders.iter().enumerate() {
+        for (j, tr) in finders.iter().enumerate() {
+            for (k, bl) in finders.iter().enumerate() {
+                if i == j || i == k || j == k {
+                    continue;
+                }
+                let unit = (tl.module_size + tr.module_size + bl.module_size) / 3.0;
+                // Axis alignment within a module.
+                if (tl.center_y - tr.center_y).abs() > unit
+                    || (tl.center_x - bl.center_x).abs() > unit
+                {
+                    continue;
+                }
+                let dx = tr.center_x - tl.center_x;
+                let dy = bl.center_y - tl.center_y;
+                if dx <= 0.0 || dy <= 0.0 || (dx - dy).abs() > unit * 2.0 {
+                    continue;
+                }
+                // Distance between finder centres = (size - 7) modules.
+                let size_est = (dx / unit).round() as isize + 7;
+                let Some(_) = version_for_size(size_est.max(0) as usize) else {
+                    continue;
+                };
+                let size = size_est as usize;
+                // Sample the grid.
+                let origin_x = tl.center_x - 3.5 * unit;
+                let origin_y = tl.center_y - 3.5 * unit;
+                if let Some(hit) = sample_and_decode(frame, origin_x, origin_y, unit, size) {
+                    if !hits.iter().any(|h| h.payload == hit.payload) {
+                        hits.push(hit);
+                    }
+                }
+            }
+        }
+    }
+    hits
+}
+
+fn sample_and_decode(
+    frame: &Frame,
+    origin_x: f64,
+    origin_y: f64,
+    unit: f64,
+    size: usize,
+) -> Option<FrameHit> {
+    let mut modules = Vec::with_capacity(size * size);
+    for r in 0..size {
+        for c in 0..size {
+            let x = origin_x + (c as f64 + 0.5) * unit;
+            let y = origin_y + (r as f64 + 0.5) * unit;
+            if x < 0.0 || y < 0.0 {
+                return None;
+            }
+            let (xi, yi) = (x.floor() as usize, y.floor() as usize);
+            if xi >= frame.width || yi >= frame.height {
+                return None;
+            }
+            modules.push(frame.dark(xi, yi));
+        }
+    }
+    let matrix = Matrix::from_modules(size, modules)?;
+    match decode(&matrix) {
+        Ok(payload) => Some(FrameHit {
+            payload,
+            left: origin_x.round() as usize,
+            top: origin_y.round() as usize,
+            symbol_size: size,
+        }),
+        Err(DecodeError::BadSize(_) | DecodeError::BadFormat) => None,
+        Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::tables::EcLevel;
+
+    fn qr(text: &str) -> Matrix {
+        encode(text.as_bytes(), EcLevel::M).unwrap()
+    }
+
+    #[test]
+    fn finds_qr_at_scale_one() {
+        let m = qr("https://btc-x2.com");
+        let mut frame = Frame::blank(120, 120);
+        frame.paint_qr(&m, 10, 10, 1);
+        let hits = scan_frame(&frame);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].payload, b"https://btc-x2.com");
+    }
+
+    #[test]
+    fn finds_qr_at_larger_scales() {
+        for scale in [2usize, 3, 5] {
+            let m = qr("https://xrp-event.live/go");
+            let span = m.size() * scale + 8 * scale + 20;
+            let mut frame = Frame::blank(span + 30, span + 30);
+            frame.paint_qr(&m, 13, 17, scale);
+            let hits = scan_frame(&frame);
+            assert_eq!(hits.len(), 1, "scale {scale}");
+            assert_eq!(hits[0].payload, b"https://xrp-event.live/go", "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn blank_frame_has_no_hits() {
+        let frame = Frame::blank(200, 150);
+        assert!(scan_frame(&frame).is_empty());
+    }
+
+    #[test]
+    fn noisy_frame_without_qr_has_no_hits() {
+        let mut frame = Frame::blank(160, 120);
+        // Deterministic speckle noise.
+        for y in 0..frame.height {
+            for x in 0..frame.width {
+                if (x * 31 + y * 17) % 7 == 0 {
+                    frame.set(x, y, 0);
+                }
+            }
+        }
+        assert!(scan_frame(&frame).is_empty());
+    }
+
+    #[test]
+    fn qr_amid_background_clutter() {
+        let m = qr("https://eth-drop.org");
+        let mut frame = Frame::blank(220, 180);
+        // Clutter stripes away from the symbol.
+        for y in 0..180 {
+            for x in 160..220 {
+                frame.set(x, y, if (y / 3) % 2 == 0 { 0 } else { 255 });
+            }
+        }
+        frame.paint_qr(&m, 5, 40, 2);
+        let hits = scan_frame(&frame);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].payload, b"https://eth-drop.org");
+    }
+
+    #[test]
+    fn reports_symbol_geometry() {
+        let m = qr("geom");
+        let mut frame = Frame::blank(100, 100);
+        frame.paint_qr(&m, 20, 30, 1);
+        let hits = scan_frame(&frame);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].symbol_size, m.size());
+        // Origin is at the top-left of the symbol proper (after the
+        // 4-module quiet zone).
+        assert!((hits[0].left as isize - 24).abs() <= 1);
+        assert!((hits[0].top as isize - 34).abs() <= 1);
+    }
+
+    #[test]
+    fn two_qrs_in_one_frame() {
+        let a = qr("https://first.com");
+        let b = qr("https://second.org");
+        let mut frame = Frame::blank(300, 120);
+        frame.paint_qr(&a, 5, 5, 2);
+        frame.paint_qr(&b, 160, 5, 2);
+        let mut payloads: Vec<String> = scan_frame(&frame)
+            .into_iter()
+            .map(|h| String::from_utf8(h.payload).unwrap())
+            .collect();
+        payloads.sort();
+        assert_eq!(payloads, ["https://first.com", "https://second.org"]);
+    }
+}

@@ -1,0 +1,453 @@
+//! Module matrix: function patterns, data placement order, masking.
+
+use crate::tables::{alignment_positions, symbol_size};
+
+/// A square module matrix. `true` = dark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    size: usize,
+    modules: Vec<bool>,
+    /// Marks function-pattern cells (finder, timing, alignment, format,
+    /// version, dark module) that carry no data codeword bits.
+    function: Vec<bool>,
+}
+
+impl Matrix {
+    /// An all-light matrix for `version` with function-pattern areas
+    /// marked (and the fixed patterns drawn).
+    pub fn for_version(version: u8) -> Self {
+        let size = symbol_size(version);
+        let mut m = Matrix {
+            size,
+            modules: vec![false; size * size],
+            function: vec![false; size * size],
+        };
+        m.draw_function_patterns(version);
+        m
+    }
+
+    /// An empty matrix of raw modules (used by the decoder after
+    /// sampling a frame). Function map is rebuilt from the version.
+    pub fn from_modules(size: usize, modules: Vec<bool>) -> Option<Self> {
+        if modules.len() != size * size {
+            return None;
+        }
+        let version = crate::tables::version_for_size(size)?;
+        let mut m = Matrix {
+            size,
+            modules,
+            function: vec![false; size * size],
+        };
+        // Re-mark function areas without overwriting sampled modules.
+        let mut template = Matrix::for_version(version);
+        std::mem::swap(&mut m.function, &mut template.function);
+        Some(m)
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        self.modules[row * self.size + col]
+    }
+
+    pub fn set(&mut self, row: usize, col: usize, dark: bool) {
+        self.modules[row * self.size + col] = dark;
+    }
+
+    pub fn is_function(&self, row: usize, col: usize) -> bool {
+        self.function[row * self.size + col]
+    }
+
+    fn set_function(&mut self, row: usize, col: usize, dark: bool) {
+        self.set(row, col, dark);
+        self.function[row * self.size + col] = true;
+    }
+
+    /// Fraction of dark modules (penalty rule 4 and tests).
+    pub fn dark_fraction(&self) -> f64 {
+        self.modules.iter().filter(|&&m| m).count() as f64 / self.modules.len() as f64
+    }
+
+    fn draw_function_patterns(&mut self, version: u8) {
+        let size = self.size;
+        // Finder patterns + separators at three corners.
+        self.draw_finder(0, 0);
+        self.draw_finder(0, size - 7);
+        self.draw_finder(size - 7, 0);
+        // Separators (1-module light border inside the symbol).
+        for i in 0..8 {
+            self.set_function(7, i, false);
+            self.set_function(i, 7, false);
+            self.set_function(7, size - 8 + i, false);
+            self.set_function(i, size - 8, false);
+            self.set_function(size - 8, i, false);
+            self.set_function(size - 8 + i, 7, false);
+        }
+        // Timing patterns.
+        for i in 8..size - 8 {
+            let dark = i % 2 == 0;
+            self.set_function(6, i, dark);
+            self.set_function(i, 6, dark);
+        }
+        // Alignment patterns (skip any overlapping a finder).
+        let centers = alignment_positions(version);
+        for &r in centers {
+            for &c in centers {
+                let near_finder = (r < 9 && c < 9)
+                    || (r < 9 && c > size - 10)
+                    || (r > size - 10 && c < 9);
+                if near_finder {
+                    continue;
+                }
+                self.draw_alignment(r, c);
+            }
+        }
+        // Dark module.
+        self.set_function(size - 8, 8, true);
+        // Reserve format info areas (filled in later by the encoder).
+        for (r, c) in format_positions_copy1() {
+            self.function[r * size + c] = true;
+        }
+        for (r, c) in format_positions_copy2(size) {
+            self.function[r * size + c] = true;
+        }
+        // Reserve version info areas (v >= 7).
+        if version >= 7 {
+            for i in 0..18 {
+                let a = i / 3;
+                let b = size - 11 + i % 3;
+                self.function[a * size + b] = true;
+                self.function[b * size + a] = true;
+            }
+        }
+    }
+
+    fn draw_finder(&mut self, top: usize, left: usize) {
+        for dr in 0..7 {
+            for dc in 0..7 {
+                let on_ring = dr == 0 || dr == 6 || dc == 0 || dc == 6;
+                let in_core = (2..=4).contains(&dr) && (2..=4).contains(&dc);
+                self.set_function(top + dr, left + dc, on_ring || in_core);
+            }
+        }
+    }
+
+    fn draw_alignment(&mut self, center_r: usize, center_c: usize) {
+        for dr in 0..5 {
+            for dc in 0..5 {
+                let ring = dr == 0 || dr == 4 || dc == 0 || dc == 4;
+                let core = dr == 2 && dc == 2;
+                self.set_function(center_r - 2 + dr, center_c - 2 + dc, ring || core);
+            }
+        }
+    }
+
+    /// The zigzag order in which data bits occupy non-function modules.
+    /// Shared by encoder and decoder so placement and extraction always
+    /// agree.
+    pub fn data_order(&self) -> Vec<(usize, usize)> {
+        let size = self.size;
+        let mut order = Vec::new();
+        let mut col = size as isize - 1;
+        let mut upward = true;
+        while col > 0 {
+            if col == 6 {
+                col -= 1; // the vertical timing pattern column is skipped entirely
+            }
+            let rows: Vec<usize> = if upward {
+                (0..size).rev().collect()
+            } else {
+                (0..size).collect()
+            };
+            for row in rows {
+                for c in [col, col - 1] {
+                    let c = c as usize;
+                    if !self.is_function(row, c) {
+                        order.push((row, c));
+                    }
+                }
+            }
+            upward = !upward;
+            col -= 2;
+        }
+        order
+    }
+
+    /// Apply (or remove — XOR is an involution) mask `mask` to all
+    /// non-function modules.
+    pub fn apply_mask(&mut self, mask: u8) {
+        for row in 0..self.size {
+            for col in 0..self.size {
+                if !self.is_function(row, col) && mask_bit(mask, row, col) {
+                    let v = self.get(row, col);
+                    self.set(row, col, !v);
+                }
+            }
+        }
+    }
+
+    /// Standard penalty score used to pick the mask.
+    pub fn penalty(&self) -> u32 {
+        let size = self.size;
+        let mut score = 0u32;
+
+        // Rule 1: runs of >= 5 same-colour modules, rows and columns.
+        for axis in 0..2 {
+            for i in 0..size {
+                let mut run = 1;
+                let mut prev = self.axis_get(axis, i, 0);
+                for j in 1..size {
+                    let cur = self.axis_get(axis, i, j);
+                    if cur == prev {
+                        run += 1;
+                    } else {
+                        if run >= 5 {
+                            score += 3 + (run - 5) as u32;
+                        }
+                        run = 1;
+                        prev = cur;
+                    }
+                }
+                if run >= 5 {
+                    score += 3 + (run - 5) as u32;
+                }
+            }
+        }
+
+        // Rule 2: 2x2 blocks of the same colour.
+        for r in 0..size - 1 {
+            for c in 0..size - 1 {
+                let v = self.get(r, c);
+                if self.get(r, c + 1) == v && self.get(r + 1, c) == v && self.get(r + 1, c + 1) == v
+                {
+                    score += 3;
+                }
+            }
+        }
+
+        // Rule 3: finder-like 1011101 pattern with 4 light modules on
+        // either side.
+        const PAT: [bool; 11] = [
+            true, false, true, true, true, false, true, false, false, false, false,
+        ];
+        for axis in 0..2 {
+            for i in 0..size {
+                for j in 0..size.saturating_sub(10) {
+                    let fwd = (0..11).all(|k| self.axis_get(axis, i, j + k) == PAT[k]);
+                    let rev = (0..11).all(|k| self.axis_get(axis, i, j + k) == PAT[10 - k]);
+                    if fwd {
+                        score += 40;
+                    }
+                    if rev {
+                        score += 40;
+                    }
+                }
+            }
+        }
+
+        // Rule 4: dark-module balance.
+        let dark_pct = (self.dark_fraction() * 100.0).round() as i32;
+        score += ((dark_pct - 50).abs() / 5) as u32 * 10;
+        score
+    }
+
+    fn axis_get(&self, axis: usize, i: usize, j: usize) -> bool {
+        if axis == 0 {
+            self.get(i, j)
+        } else {
+            self.get(j, i)
+        }
+    }
+
+    /// Render as text for debugging ('#' dark, '.' light).
+    pub fn to_text(&self) -> String {
+        let mut s = String::with_capacity(self.size * (self.size + 1));
+        for r in 0..self.size {
+            for c in 0..self.size {
+                s.push(if self.get(r, c) { '#' } else { '.' });
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Mask predicate: whether (row, col) flips under mask `mask`.
+pub fn mask_bit(mask: u8, r: usize, c: usize) -> bool {
+    match mask {
+        0 => (r + c) % 2 == 0,
+        1 => r % 2 == 0,
+        2 => c % 3 == 0,
+        3 => (r + c) % 3 == 0,
+        4 => (r / 2 + c / 3) % 2 == 0,
+        5 => (r * c) % 2 + (r * c) % 3 == 0,
+        6 => ((r * c) % 2 + (r * c) % 3) % 2 == 0,
+        7 => ((r + c) % 2 + (r * c) % 3) % 2 == 0,
+        _ => panic!("mask {mask} out of range"),
+    }
+}
+
+/// Format-info module positions for copy 1 (around the top-left finder),
+/// most significant bit first.
+pub fn format_positions_copy1() -> [(usize, usize); 15] {
+    [
+        (8, 0),
+        (8, 1),
+        (8, 2),
+        (8, 3),
+        (8, 4),
+        (8, 5),
+        (8, 7),
+        (8, 8),
+        (7, 8),
+        (5, 8),
+        (4, 8),
+        (3, 8),
+        (2, 8),
+        (1, 8),
+        (0, 8),
+    ]
+}
+
+/// Format-info module positions for copy 2 (split between the bottom-left
+/// and top-right finders), most significant bit first.
+pub fn format_positions_copy2(size: usize) -> [(usize, usize); 15] {
+    let mut out = [(0usize, 0usize); 15];
+    // 7 bits down the left of the bottom-left finder (col 8).
+    for (i, slot) in out.iter_mut().take(7).enumerate() {
+        *slot = (size - 1 - i, 8);
+    }
+    // 8 bits along the bottom of the top-right finder (row 8).
+    for i in 0..8 {
+        out[7 + i] = (8, size - 8 + i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::{block_spec, remainder_bits, EcLevel, MAX_VERSION};
+
+    #[test]
+    fn finder_patterns_in_three_corners() {
+        let m = Matrix::for_version(1);
+        // Centers of the finder patterns are dark.
+        assert!(m.get(3, 3));
+        assert!(m.get(3, 17));
+        assert!(m.get(17, 3));
+        // Fourth corner has no finder.
+        assert!(!m.get(17, 17));
+        // Ring structure: (0,0) dark, (1,1) light, (2,2) dark.
+        assert!(m.get(0, 0));
+        assert!(!m.get(1, 1));
+        assert!(m.get(2, 2));
+    }
+
+    #[test]
+    fn timing_patterns_alternate() {
+        let m = Matrix::for_version(2);
+        for i in 8..m.size() - 8 {
+            assert_eq!(m.get(6, i), i % 2 == 0, "row timing at {i}");
+            assert_eq!(m.get(i, 6), i % 2 == 0, "col timing at {i}");
+        }
+    }
+
+    #[test]
+    fn dark_module_present() {
+        for v in 1..=MAX_VERSION {
+            let m = Matrix::for_version(v);
+            assert!(m.get(m.size() - 8, 8), "v{v} dark module");
+            assert!(m.is_function(m.size() - 8, 8));
+        }
+    }
+
+    #[test]
+    fn alignment_pattern_in_v2() {
+        let m = Matrix::for_version(2);
+        // v2 alignment centre at (18, 18).
+        assert!(m.get(18, 18));
+        assert!(!m.get(17, 18));
+        assert!(m.get(16, 18));
+        assert!(m.is_function(18, 18));
+    }
+
+    #[test]
+    fn data_capacity_matches_tables() {
+        // Non-function module count must equal 8 * total codewords +
+        // remainder bits for every version.
+        for v in 1..=MAX_VERSION {
+            let m = Matrix::for_version(v);
+            let order = m.data_order();
+            let expected = block_spec(v, EcLevel::L).total_codewords() * 8 + remainder_bits(v);
+            assert_eq!(order.len(), expected, "v{v} data module count");
+        }
+    }
+
+    #[test]
+    fn data_order_has_no_duplicates_or_function_cells() {
+        let m = Matrix::for_version(7);
+        let order = m.data_order();
+        let mut seen = std::collections::HashSet::new();
+        for &(r, c) in &order {
+            assert!(!m.is_function(r, c), "({r},{c}) is a function cell");
+            assert!(seen.insert((r, c)), "({r},{c}) appears twice");
+        }
+    }
+
+    #[test]
+    fn mask_is_involution() {
+        let mut m = Matrix::for_version(3);
+        // Scatter some data bits.
+        let order = m.data_order();
+        for (i, &(r, c)) in order.iter().enumerate() {
+            m.set(r, c, i % 3 == 0);
+        }
+        let before = m.clone();
+        for mask in 0..8 {
+            m.apply_mask(mask);
+            m.apply_mask(mask);
+            assert_eq!(m, before, "mask {mask} not an involution");
+        }
+    }
+
+    #[test]
+    fn masks_differ_from_each_other() {
+        let base = Matrix::for_version(2);
+        let mut rendered = Vec::new();
+        for mask in 0..8u8 {
+            let mut m = base.clone();
+            m.apply_mask(mask);
+            rendered.push(m);
+        }
+        for i in 0..8 {
+            for j in i + 1..8 {
+                assert_ne!(rendered[i], rendered[j], "masks {i} and {j} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn format_positions_are_distinct_and_in_bounds() {
+        for v in [1u8, 7, 10] {
+            let size = symbol_size(v);
+            let p1 = format_positions_copy1();
+            let p2 = format_positions_copy2(size);
+            let all: std::collections::HashSet<_> = p1.iter().chain(p2.iter()).collect();
+            assert_eq!(all.len(), 30, "v{v} positions overlap");
+            for &(r, c) in p1.iter().chain(p2.iter()) {
+                assert!(r < size && c < size);
+            }
+        }
+    }
+
+    #[test]
+    fn penalty_is_finite_and_sane() {
+        let m = Matrix::for_version(1);
+        let p = m.penalty();
+        // An empty (all-light data) matrix has huge run penalties.
+        assert!(p > 100);
+    }
+}

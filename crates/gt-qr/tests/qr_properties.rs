@@ -1,0 +1,115 @@
+//! Property tests for the QR stack: arbitrary payloads round-trip,
+//! damage within the Reed–Solomon budget is corrected, and the frame
+//! scanner finds symbols wherever they are painted.
+
+use gt_qr::tables::{byte_capacity, MAX_VERSION};
+use gt_qr::{decode, encode, scan_frame, EcLevel, Frame};
+use proptest::prelude::*;
+
+fn any_level() -> impl Strategy<Value = EcLevel> {
+    prop_oneof![
+        Just(EcLevel::L),
+        Just(EcLevel::M),
+        Just(EcLevel::Q),
+        Just(EcLevel::H),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_payloads_round_trip(
+        payload in proptest::collection::vec(any::<u8>(), 1..200),
+        level in any_level(),
+    ) {
+        prop_assume!(payload.len() <= byte_capacity(MAX_VERSION, level));
+        let matrix = encode(&payload, level).unwrap();
+        prop_assert_eq!(decode(&matrix).unwrap(), payload);
+    }
+
+    #[test]
+    fn damage_within_half_ec_budget_is_corrected(
+        payload in proptest::collection::vec(any::<u8>(), 5..40),
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let matrix = encode(&payload, EcLevel::H).unwrap();
+        let mut damaged = matrix.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Level H corrects ~30% of codewords; flipping a few scattered
+        // data modules stays safely inside the budget.
+        let size = damaged.size();
+        let mut flipped = 0;
+        while flipped < 6 {
+            let r = rng.gen_range(0..size);
+            let c = rng.gen_range(0..size);
+            if !damaged.is_function(r, c) {
+                let v = damaged.get(r, c);
+                damaged.set(r, c, !v);
+                flipped += 1;
+            }
+        }
+        prop_assert_eq!(decode(&damaged).unwrap(), payload);
+    }
+
+    #[test]
+    fn decode_never_returns_wrong_payload(
+        payload in proptest::collection::vec(any::<u8>(), 5..40),
+        flips in 1usize..80,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        // Whatever the damage, decode must either fail or return the
+        // original payload — never silently corrupt data.
+        let matrix = encode(&payload, EcLevel::M).unwrap();
+        let mut damaged = matrix.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let size = damaged.size();
+        for _ in 0..flips {
+            let r = rng.gen_range(0..size);
+            let c = rng.gen_range(0..size);
+            if !damaged.is_function(r, c) {
+                let v = damaged.get(r, c);
+                damaged.set(r, c, !v);
+            }
+        }
+        if let Ok(decoded) = decode(&damaged) {
+            prop_assert_eq!(decoded, payload);
+        }
+    }
+
+    #[test]
+    fn scanner_finds_symbol_at_any_position(
+        payload in "[a-z0-9:/.\\-]{8,60}",
+        left in 0usize..80,
+        top in 0usize..40,
+        scale in 1usize..4,
+    ) {
+        let matrix = encode(payload.as_bytes(), EcLevel::M).unwrap();
+        let span = matrix.size() * scale + 8 * scale;
+        let mut frame = Frame::blank(left + span + 10, top + span + 10);
+        frame.paint_qr(&matrix, left, top, scale);
+        let hits = scan_frame(&frame);
+        prop_assert_eq!(hits.len(), 1, "exactly one symbol");
+        prop_assert_eq!(&hits[0].payload, &payload.as_bytes().to_vec());
+    }
+
+    #[test]
+    fn scanner_has_no_false_positives_on_noise(
+        seed in any::<u64>(),
+        density in 1u32..6,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut frame = Frame::blank(160, 120);
+        for y in 0..frame.height {
+            for x in 0..frame.width {
+                if rng.gen_ratio(density, 10) {
+                    frame.set(x, y, 0);
+                }
+            }
+        }
+        prop_assert!(scan_frame(&frame).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! A shared virtual clock.
+//!
+//! Every simulator (platforms, chains, the crawler) reads the same clock so
+//! that "the stream was live when the transaction landed" is a meaningful
+//! statement. The clock only moves forward; attempts to move it backwards
+//! panic, because that would silently corrupt any time-indexed dataset.
+
+use crate::time::{SimDuration, SimTime};
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically advancing virtual clock.
+///
+/// Cheap to clone; clones share the same underlying instant.
+#[derive(Debug, Clone)]
+pub struct Clock {
+    inner: Arc<AtomicI64>,
+}
+
+impl Clock {
+    /// A clock starting at the given instant.
+    pub fn starting_at(t: SimTime) -> Self {
+        Clock {
+            inner: Arc::new(AtomicI64::new(t.0)),
+        }
+    }
+
+    /// The current virtual instant.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.inner.load(Ordering::SeqCst))
+    }
+
+    /// Advance the clock by `d`.
+    ///
+    /// # Panics
+    /// Panics if `d` is negative.
+    pub fn advance(&self, d: SimDuration) {
+        assert!(!d.is_negative(), "clock cannot move backwards (by {d})");
+        self.inner.fetch_add(d.0, Ordering::SeqCst);
+    }
+
+    /// Move the clock directly to `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is earlier than the current instant.
+    pub fn advance_to(&self, t: SimTime) {
+        let prev = self.inner.swap(t.0, Ordering::SeqCst);
+        assert!(
+            prev <= t.0,
+            "clock cannot move backwards (from {} to {})",
+            SimTime(prev),
+            t
+        );
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::starting_at(SimTime::EPOCH)
+    }
+}
+
+/// A single-threaded clock for hot inner loops that cannot pay for atomics.
+///
+/// Used by the chain simulators when replaying large transaction schedules.
+#[derive(Debug, Clone)]
+pub struct LocalClock {
+    inner: Rc<Cell<i64>>,
+}
+
+impl LocalClock {
+    pub fn starting_at(t: SimTime) -> Self {
+        LocalClock {
+            inner: Rc::new(Cell::new(t.0)),
+        }
+    }
+
+    pub fn now(&self) -> SimTime {
+        SimTime(self.inner.get())
+    }
+
+    pub fn advance(&self, d: SimDuration) {
+        assert!(!d.is_negative(), "clock cannot move backwards (by {d})");
+        self.inner.set(self.inner.get() + d.0);
+    }
+
+    pub fn advance_to(&self, t: SimTime) {
+        assert!(
+            self.inner.get() <= t.0,
+            "clock cannot move backwards (from {} to {})",
+            self.now(),
+            t
+        );
+        self.inner.set(t.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_time() {
+        let c1 = Clock::starting_at(SimTime::from_ymd(2023, 7, 24));
+        let c2 = c1.clone();
+        c1.advance(SimDuration::minutes(30));
+        assert_eq!(c2.now(), SimTime::from_ymd(2023, 7, 24) + SimDuration::minutes(30));
+    }
+
+    #[test]
+    fn advance_to_moves_forward() {
+        let c = Clock::starting_at(SimTime::EPOCH);
+        let target = SimTime::from_ymd(2022, 1, 1);
+        c.advance_to(target);
+        assert_eq!(c.now(), target);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn advance_to_panics_backwards() {
+        let c = Clock::starting_at(SimTime::from_ymd(2022, 1, 2));
+        c.advance_to(SimTime::from_ymd(2022, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn advance_panics_on_negative() {
+        let c = Clock::default();
+        c.advance(SimDuration::seconds(-1));
+    }
+
+    #[test]
+    fn local_clock_behaves_like_clock() {
+        let c = LocalClock::starting_at(SimTime::EPOCH);
+        let c2 = c.clone();
+        c.advance(SimDuration::hours(1));
+        assert_eq!(c2.now(), SimTime(3600));
+        c2.advance_to(SimTime(7200));
+        assert_eq!(c.now(), SimTime(7200));
+    }
+}

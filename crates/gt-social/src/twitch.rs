@@ -1,0 +1,263 @@
+//! The Twitch platform model and Helix-API surface.
+//!
+//! Differences from YouTube that the paper's Appendix B.1 works around:
+//!
+//! * the API returns **all** live streams (no server-side keyword
+//!   search) — the pipeline must filter client-side on title/tags and
+//!   drop game categories;
+//! * chat has **no history endpoint** — messages are only observable
+//!   while polling a live stream;
+//! * a ~15-second advertisement clip precedes stream content, so
+//!   recordings shorter than that may capture no content frames.
+
+use crate::youtube::{ChatMessage, StreamVideo, ViewerCurve};
+use gt_qr::{encode, EcLevel, Frame};
+use gt_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use parking_lot::Mutex;
+
+/// Seconds of advertisement inserted before stream content.
+pub const AD_SECONDS: i64 = 15;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TwitchStreamId(pub u64);
+
+/// A Twitch stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwitchStream {
+    pub id: TwitchStreamId,
+    pub channel_name: String,
+    pub title: String,
+    pub tags: Vec<String>,
+    /// Twitch category, e.g. "Just Chatting", "Fortnite", "Crypto".
+    pub category: String,
+    pub start: SimTime,
+    pub end: SimTime,
+    pub video: StreamVideo,
+    pub viewers: ViewerCurve,
+    pub chat: Vec<ChatMessage>,
+}
+
+impl TwitchStream {
+    pub fn is_live(&self, now: SimTime) -> bool {
+        self.start <= now && now < self.end
+    }
+}
+
+/// Per-endpoint call counts.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TwitchApiCalls {
+    pub get_streams: u64,
+    pub record: u64,
+    pub chat_poll: u64,
+}
+
+/// The Twitch platform.
+#[derive(Debug, Default)]
+pub struct Twitch {
+    streams: Vec<TwitchStream>,
+    calls: Mutex<TwitchApiCalls>,
+}
+
+impl Twitch {
+    pub fn new() -> Self {
+        Twitch::default()
+    }
+
+    pub fn add_stream(&mut self, mut stream: TwitchStream) -> TwitchStreamId {
+        let id = TwitchStreamId(self.streams.len() as u64);
+        stream.id = id;
+        assert!(stream.start < stream.end);
+        self.streams.push(stream);
+        id
+    }
+
+    pub fn stream(&self, id: TwitchStreamId) -> &TwitchStream {
+        &self.streams[id.0 as usize]
+    }
+
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    pub fn api_calls(&self) -> TwitchApiCalls {
+        *self.calls.lock()
+    }
+
+    /// All streams live at `now` (the Helix "get streams" endpoint; no
+    /// keyword filtering server-side).
+    pub fn get_streams(&self, now: SimTime) -> Vec<&TwitchStream> {
+        self.calls.lock().get_streams += 1;
+        self.streams.iter().filter(|s| s.is_live(now)).collect()
+    }
+
+    /// Record `duration` starting at `now`. The first [`AD_SECONDS`]
+    /// seconds after the recording starts show an advertisement (no
+    /// stream content, no QR).
+    pub fn record(
+        &self,
+        id: TwitchStreamId,
+        now: SimTime,
+        duration: SimDuration,
+    ) -> Vec<Frame> {
+        self.calls.lock().record += 1;
+        let Some(s) = self.streams.get(id.0 as usize) else {
+            return Vec::new();
+        };
+        let mut frames = Vec::new();
+        for i in 0..duration.as_seconds().max(1) {
+            let at = now + SimDuration::seconds(i);
+            if !s.is_live(at) {
+                break;
+            }
+            if i < AD_SECONDS {
+                frames.push(ad_frame());
+            } else {
+                frames.push(content_frame(s, at));
+            }
+        }
+        frames
+    }
+
+    /// Chat messages in `(since, now]`; only available while live
+    /// (Twitch has no chat history API).
+    pub fn chat_since(&self, id: TwitchStreamId, since: SimTime, now: SimTime) -> Vec<ChatMessage> {
+        self.calls.lock().chat_poll += 1;
+        let Some(s) = self.streams.get(id.0 as usize) else {
+            return Vec::new();
+        };
+        if !s.is_live(now) {
+            return Vec::new();
+        }
+        s.chat
+            .iter()
+            .filter(|m| m.time > since && m.time <= now)
+            .cloned()
+            .collect()
+    }
+}
+
+const FRAME_W: usize = 320;
+const FRAME_H: usize = 240;
+
+fn ad_frame() -> Frame {
+    // A mid-gray card: no QR, recognisably not content.
+    let mut frame = Frame::blank(FRAME_W, FRAME_H);
+    for y in 80..160 {
+        for x in 60..260 {
+            frame.set(x, y, 100);
+        }
+    }
+    frame
+}
+
+fn content_frame(stream: &TwitchStream, at: SimTime) -> Frame {
+    let mut frame = Frame::blank(FRAME_W, FRAME_H);
+    if let StreamVideo::ScamLoop {
+        qr_url, qr_scale, ..
+    } = &stream.video
+    {
+        let _ = at;
+        if let Ok(matrix) = encode(qr_url.as_bytes(), EcLevel::M) {
+            let scale = (*qr_scale).max(1);
+            let span = matrix.size() * scale + 8 * scale;
+            if span + 10 <= FRAME_W && span + 10 <= FRAME_H {
+                frame.paint_qr(&matrix, FRAME_W - span - 5, FRAME_H - span - 5, scale);
+            }
+        }
+    }
+    frame
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_qr::scan_frame;
+
+    fn t(s: i64) -> SimTime {
+        SimTime(1_688_169_600 + s) // 2023-07-01 (the pilot window)
+    }
+
+    fn gaming_stream() -> TwitchStream {
+        TwitchStream {
+            id: TwitchStreamId(0),
+            channel_name: "speedrunner99".into(),
+            title: "casual runs".into(),
+            tags: vec!["gaming".into()],
+            category: "Fortnite".into(),
+            start: t(0),
+            end: t(7200),
+            video: StreamVideo::Benign,
+            viewers: ViewerCurve {
+                peak_concurrent: 120,
+                total_views: 900,
+            },
+            chat: vec![],
+        }
+    }
+
+    #[test]
+    fn get_streams_returns_all_live() {
+        let mut tw = Twitch::new();
+        tw.add_stream(gaming_stream());
+        let mut other = gaming_stream();
+        other.start = t(10_000);
+        other.end = t(20_000);
+        tw.add_stream(other);
+        assert_eq!(tw.get_streams(t(100)).len(), 1);
+        assert_eq!(tw.get_streams(t(12_000)).len(), 1);
+        assert_eq!(tw.get_streams(t(8_000)).len(), 0);
+    }
+
+    #[test]
+    fn recording_starts_with_ad() {
+        let mut tw = Twitch::new();
+        let mut s = gaming_stream();
+        s.video = StreamVideo::ScamLoop {
+            qr_url: "https://btc-2x.fund".into(),
+            qr_duty_cycle: None,
+            qr_scale: 2,
+        };
+        let id = tw.add_stream(s);
+        // A 10-second recording is all advertisement: no QR captured.
+        let frames = tw.record(id, t(100), SimDuration::seconds(10));
+        assert_eq!(frames.len(), 10);
+        assert!(frames.iter().all(|f| scan_frame(f).is_empty()));
+        // A 20-second recording reaches content (the paper's fix).
+        let frames = tw.record(id, t(100), SimDuration::seconds(20));
+        assert!(frames[frames.len() - 1..]
+            .iter()
+            .any(|f| !scan_frame(f).is_empty()));
+    }
+
+    #[test]
+    fn chat_has_no_history_after_end() {
+        let mut tw = Twitch::new();
+        let mut s = gaming_stream();
+        s.chat = vec![ChatMessage {
+            time: t(50),
+            author: "a".into(),
+            text: "hello".into(),
+        }];
+        let id = tw.add_stream(s);
+        assert_eq!(tw.chat_since(id, t(0), t(100)).len(), 1);
+        // After the stream ends, nothing is retrievable.
+        assert!(tw.chat_since(id, t(0), t(8000)).is_empty());
+        // Interval filtering.
+        assert!(tw.chat_since(id, t(60), t(100)).is_empty());
+    }
+
+    #[test]
+    fn call_counters() {
+        let mut tw = Twitch::new();
+        let id = tw.add_stream(gaming_stream());
+        tw.get_streams(t(0));
+        tw.record(id, t(0), SimDuration::seconds(2));
+        tw.chat_since(id, t(0), t(10));
+        let calls = tw.api_calls();
+        assert_eq!(
+            (calls.get_streams, calls.record, calls.chat_poll),
+            (1, 1, 1)
+        );
+    }
+}

@@ -1,0 +1,584 @@
+//! The YouTube platform model and Data-API surface.
+//!
+//! Streams, channels, chats and video tracks are generated up front by
+//! the world; every API method takes `now` so a monitoring run can replay
+//! the platform at any virtual instant. Call counts per endpoint are
+//! recorded for quota audits.
+
+use gt_qr::{encode, EcLevel, Frame, Matrix};
+use gt_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use parking_lot::Mutex;
+
+/// Maximum chat messages returned per history call (YouTube's cap).
+pub const CHAT_HISTORY_LIMIT: usize = 70;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChannelId(pub u64);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LiveStreamId(pub u64);
+
+/// A YouTube channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Channel {
+    pub id: ChannelId,
+    pub name: String,
+    pub subscribers: u64,
+}
+
+/// A timestamped chat message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChatMessage {
+    pub time: SimTime,
+    pub author: String,
+    pub text: String,
+}
+
+/// What the video track shows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamVideo {
+    /// Ordinary content; frames carry no QR code.
+    Benign,
+    /// A looping pre-recorded scam video with a QR overlay.
+    ScamLoop {
+        /// URL encoded in the QR code.
+        qr_url: String,
+        /// If set, the QR is only visible periodically: (visible,
+        /// hidden) second spans, repeating from stream start. `None`
+        /// means continuously visible (the common case the pilot study
+        /// found).
+        qr_duty_cycle: Option<(i64, i64)>,
+        /// Pixels per module when painted into a frame.
+        qr_scale: usize,
+    },
+}
+
+/// How many viewers a stream has over time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViewerCurve {
+    /// Peak concurrent viewers.
+    pub peak_concurrent: u64,
+    /// Total views accumulated by stream end.
+    pub total_views: u64,
+}
+
+impl ViewerCurve {
+    /// Concurrent viewers at a fraction `f` in `[0, 1]` of the stream's
+    /// lifetime (triangular ramp: up to the peak at 60%, then decay).
+    pub fn concurrent_at(&self, f: f64) -> u64 {
+        let f = f.clamp(0.0, 1.0);
+        let shape = if f <= 0.6 { f / 0.6 } else { (1.0 - f) / 0.4 };
+        (self.peak_concurrent as f64 * shape).round() as u64
+    }
+
+    /// Total views accumulated by fraction `f` of the lifetime.
+    pub fn views_by(&self, f: f64) -> u64 {
+        (self.total_views as f64 * f.clamp(0.0, 1.0)).round() as u64
+    }
+}
+
+/// A livestream with its full (pre-generated) history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveStream {
+    pub id: LiveStreamId,
+    pub channel: ChannelId,
+    pub title: String,
+    pub description: String,
+    /// BCP-47-ish language tag, e.g. "en", "es".
+    pub language: String,
+    /// Topics the search backend associates with the stream beyond its
+    /// literal text (YouTube search returns streams "associated with"
+    /// keywords, not only textual matches — Appendix B.2 finds 45% of
+    /// returned streams contain no search keyword verbatim).
+    pub fuzzy_topics: Vec<String>,
+    pub start: SimTime,
+    pub end: SimTime,
+    pub video: StreamVideo,
+    pub viewers: ViewerCurve,
+    /// All chat messages over the stream's lifetime, time-ordered.
+    pub chat: Vec<ChatMessage>,
+}
+
+impl LiveStream {
+    pub fn is_live(&self, now: SimTime) -> bool {
+        self.start <= now && now < self.end
+    }
+
+    fn lifetime_fraction(&self, now: SimTime) -> f64 {
+        let total = (self.end - self.start).as_seconds().max(1);
+        ((now - self.start).as_seconds() as f64 / total as f64).clamp(0.0, 1.0)
+    }
+
+    /// Whether the QR overlay is visible at `now`.
+    pub fn qr_visible(&self, now: SimTime) -> bool {
+        match &self.video {
+            StreamVideo::Benign => false,
+            StreamVideo::ScamLoop { qr_duty_cycle, .. } => match qr_duty_cycle {
+                None => true,
+                Some((on, off)) => {
+                    let period = on + off;
+                    let offset = (now - self.start).as_seconds().rem_euclid(period.max(1));
+                    offset < *on
+                }
+            },
+        }
+    }
+}
+
+/// Per-endpoint API call counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApiCallCounts {
+    pub search: u64,
+    pub stream_details: u64,
+    pub channel_details: u64,
+    pub chat_history: u64,
+    pub record: u64,
+}
+
+/// The YouTube platform.
+#[derive(Debug, Default)]
+pub struct YouTube {
+    channels: Vec<Channel>,
+    streams: Vec<LiveStream>,
+    calls: Mutex<ApiCallCounts>,
+    /// Lazily built (start, id) index plus the maximum stream duration,
+    /// so `live_at` queries touch only plausible candidates instead of
+    /// scanning the whole population on every poll.
+    live_index: Mutex<Option<(Vec<(SimTime, LiveStreamId)>, SimDuration)>>,
+}
+
+/// A search result row (what the search endpoint exposes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    pub stream: LiveStreamId,
+    pub channel: ChannelId,
+    pub title: String,
+}
+
+impl YouTube {
+    pub fn new() -> Self {
+        YouTube::default()
+    }
+
+    // ---- world-building (not part of the public API surface) ----
+
+    pub fn add_channel(&mut self, name: String, subscribers: u64) -> ChannelId {
+        let id = ChannelId(self.channels.len() as u64);
+        self.channels.push(Channel {
+            id,
+            name,
+            subscribers,
+        });
+        id
+    }
+
+    pub fn add_stream(&mut self, mut stream: LiveStream) -> LiveStreamId {
+        let id = LiveStreamId(self.streams.len() as u64);
+        stream.id = id;
+        assert!(stream.start < stream.end, "stream must have positive duration");
+        assert!(
+            (stream.channel.0 as usize) < self.channels.len(),
+            "unknown channel"
+        );
+        self.streams.push(stream);
+        *self.live_index.lock() = None;
+        id
+    }
+
+    /// Ids of streams live at `now` (index-accelerated).
+    pub fn live_at(&self, now: SimTime) -> Vec<LiveStreamId> {
+        let mut index = self.live_index.lock();
+        let (by_start, max_duration) = index.get_or_insert_with(|| {
+            let mut by_start: Vec<(SimTime, LiveStreamId)> =
+                self.streams.iter().map(|s| (s.start, s.id)).collect();
+            by_start.sort();
+            let max_duration = self
+                .streams
+                .iter()
+                .map(|s| s.end - s.start)
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            (by_start, max_duration)
+        });
+        // Candidates: streams starting in (now - max_duration, now].
+        let lo = by_start.partition_point(|&(start, _)| start <= now - *max_duration);
+        let hi = by_start.partition_point(|&(start, _)| start <= now);
+        by_start[lo..hi]
+            .iter()
+            .filter(|&&(_, id)| self.streams[id.0 as usize].is_live(now))
+            .map(|&(_, id)| id)
+            .collect()
+    }
+
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Direct (non-API) access for ground-truth evaluation.
+    pub fn stream(&self, id: LiveStreamId) -> &LiveStream {
+        &self.streams[id.0 as usize]
+    }
+
+    pub fn streams(&self) -> &[LiveStream] {
+        &self.streams
+    }
+
+    pub fn api_calls(&self) -> ApiCallCounts {
+        *self.calls.lock()
+    }
+
+    // ---- the API surface the pipeline uses ----
+
+    /// Keyword search over live streams: returns streams live at `now`
+    /// whose title, description or channel name matches any keyword
+    /// (whole-word, case-insensitive) — the filtering the YouTube API
+    /// performs server-side.
+    pub fn search_live(&self, keywords: &gt_text::KeywordSet, now: SimTime) -> Vec<SearchHit> {
+        self.calls.lock().search += 1;
+        self.live_at(now)
+            .into_iter()
+            .map(|id| &self.streams[id.0 as usize])
+            .filter(|s| {
+                let channel_name = &self.channels[s.channel.0 as usize].name;
+                keywords.matches(&s.title)
+                    || keywords.matches(&s.description)
+                    || keywords.matches(channel_name)
+                    || s.fuzzy_topics.iter().any(|t| keywords.matches(t))
+            })
+            .map(|s| SearchHit {
+                stream: s.id,
+                channel: s.channel,
+                title: s.title.clone(),
+            })
+            .collect()
+    }
+
+    /// Stream metadata at `now` (concurrent and total viewers); `None`
+    /// if the stream is not live.
+    pub fn stream_details(&self, id: LiveStreamId, now: SimTime) -> Option<(u64, u64)> {
+        self.calls.lock().stream_details += 1;
+        let s = self.streams.get(id.0 as usize)?;
+        if !s.is_live(now) {
+            return None;
+        }
+        let f = s.lifetime_fraction(now);
+        Some((s.viewers.concurrent_at(f), s.viewers.views_by(f)))
+    }
+
+    /// Channel metadata (subscriber count).
+    pub fn channel_details(&self, id: ChannelId) -> Option<Channel> {
+        self.calls.lock().channel_details += 1;
+        self.channels.get(id.0 as usize).cloned()
+    }
+
+    /// The last [`CHAT_HISTORY_LIMIT`] chat messages posted at or before
+    /// `now`. Empty if the stream is not live.
+    pub fn chat_history(&self, id: LiveStreamId, now: SimTime) -> Vec<ChatMessage> {
+        self.calls.lock().chat_history += 1;
+        let Some(s) = self.streams.get(id.0 as usize) else {
+            return Vec::new();
+        };
+        if !s.is_live(now) {
+            return Vec::new();
+        }
+        let visible: Vec<ChatMessage> = s
+            .chat
+            .iter()
+            .filter(|m| m.time <= now)
+            .cloned()
+            .collect();
+        let skip = visible.len().saturating_sub(CHAT_HISTORY_LIMIT);
+        visible.into_iter().skip(skip).collect()
+    }
+
+    /// Record `duration` of the stream's video starting at `now`,
+    /// returning one sampled frame per second. Empty if not live.
+    ///
+    /// This is the Streamlink step: the monitoring pipeline records two
+    /// seconds at a time.
+    pub fn record(
+        &self,
+        id: LiveStreamId,
+        now: SimTime,
+        duration: SimDuration,
+    ) -> Vec<Frame> {
+        self.calls.lock().record += 1;
+        let Some(s) = self.streams.get(id.0 as usize) else {
+            return Vec::new();
+        };
+        let mut frames = Vec::new();
+        let seconds = duration.as_seconds().max(1);
+        for i in 0..seconds {
+            let at = now + SimDuration::seconds(i);
+            if !s.is_live(at) {
+                break;
+            }
+            frames.push(render_frame(s, at));
+        }
+        frames
+    }
+}
+
+/// Frame geometry used by the simulated video track.
+const FRAME_W: usize = 320;
+const FRAME_H: usize = 240;
+
+fn render_frame(stream: &LiveStream, at: SimTime) -> Frame {
+    let mut frame = Frame::blank(FRAME_W, FRAME_H);
+    // A bit of deterministic "video content" texture in the top half so
+    // frames are not trivially blank.
+    let phase = (at - stream.start).as_seconds() as usize;
+    for y in 0..40 {
+        for x in 0..FRAME_W {
+            if (x + y * 3 + phase) % 11 == 0 {
+                frame.set(x, y, 40);
+            }
+        }
+    }
+    if let StreamVideo::ScamLoop {
+        qr_url, qr_scale, ..
+    } = &stream.video
+    {
+        if stream.qr_visible(at) {
+            if let Ok(matrix) = encode(qr_url.as_bytes(), EcLevel::M) {
+                let scale = (*qr_scale).max(1);
+                let span = matrix.size() * scale + 8 * scale;
+                if span + 10 <= FRAME_W && span + 50 <= FRAME_H {
+                    frame.paint_qr(&matrix, FRAME_W - span - 5, FRAME_H - span - 5, scale);
+                } else {
+                    // Fall back to scale 1 in a corner.
+                    let span1 = matrix.size() + 8;
+                    frame.paint_qr(&matrix, FRAME_W - span1 - 2, FRAME_H - span1 - 2, 1);
+                }
+            }
+        }
+    }
+    frame
+}
+
+/// Render the QR matrix a stream would show (test helper / Figure 2).
+pub fn stream_qr_matrix(stream: &LiveStream) -> Option<Matrix> {
+    match &stream.video {
+        StreamVideo::ScamLoop { qr_url, .. } => encode(qr_url.as_bytes(), EcLevel::M).ok(),
+        StreamVideo::Benign => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_qr::scan_frame;
+    use gt_text::KeywordSet;
+
+    fn t(s: i64) -> SimTime {
+        SimTime(1_690_156_800 + s) // 2023-07-24
+    }
+
+    fn platform_with_scam_stream() -> (YouTube, LiveStreamId) {
+        let mut yt = YouTube::new();
+        let ch = yt.add_channel("Crypto News 24/7".into(), 16_800);
+        let id = yt.add_stream(LiveStream {
+            id: LiveStreamId(0),
+            channel: ch,
+            title: "Brad Garlinghouse: 50,000,000 XRP giveaway LIVE".into(),
+            description: "scan the QR to participate".into(),
+            language: "en".into(),
+            fuzzy_topics: vec![],
+            start: t(0),
+            end: t(7200),
+            video: StreamVideo::ScamLoop {
+                qr_url: "https://xrp-2x.live/claim".into(),
+                qr_duty_cycle: None,
+                qr_scale: 2,
+            },
+            viewers: ViewerCurve {
+                peak_concurrent: 900,
+                total_views: 12_000,
+            },
+            chat: vec![
+                ChatMessage {
+                    time: t(100),
+                    author: "mod".into(),
+                    text: "participate now: https://xrp-2x.live/claim".into(),
+                },
+            ],
+        });
+        (yt, id)
+    }
+
+    #[test]
+    fn search_matches_title_keywords_only_while_live() {
+        let (yt, _) = platform_with_scam_stream();
+        let kw = KeywordSet::new(["xrp", "bitcoin"]);
+        assert_eq!(yt.search_live(&kw, t(100)).len(), 1);
+        assert!(yt.search_live(&kw, t(-100)).is_empty(), "before start");
+        assert!(yt.search_live(&kw, t(7300)).is_empty(), "after end");
+        let other = KeywordSet::new(["dogecoin"]);
+        assert!(yt.search_live(&other, t(100)).is_empty());
+    }
+
+    #[test]
+    fn search_matches_channel_name() {
+        let (yt, _) = platform_with_scam_stream();
+        let kw = KeywordSet::new(["crypto"]);
+        assert_eq!(yt.search_live(&kw, t(100)).len(), 1);
+    }
+
+    #[test]
+    fn stream_details_report_viewer_curve() {
+        let (yt, id) = platform_with_scam_stream();
+        let (conc_early, views_early) = yt.stream_details(id, t(60)).unwrap();
+        let (conc_peak, views_peak) = yt.stream_details(id, t(4320)).unwrap(); // 60% point
+        assert!(conc_peak > conc_early);
+        assert!(views_peak > views_early);
+        assert_eq!(conc_peak, 900);
+        assert!(yt.stream_details(id, t(9999)).is_none());
+    }
+
+    #[test]
+    fn chat_history_caps_at_limit() {
+        let mut yt = YouTube::new();
+        let ch = yt.add_channel("c".into(), 10);
+        let chat: Vec<ChatMessage> = (0..100)
+            .map(|i| ChatMessage {
+                time: t(i),
+                author: format!("u{i}"),
+                text: format!("m{i}"),
+            })
+            .collect();
+        let id = yt.add_stream(LiveStream {
+            id: LiveStreamId(0),
+            channel: ch,
+            title: "t".into(),
+            description: String::new(),
+            language: "en".into(),
+            fuzzy_topics: vec![],
+            start: t(0),
+            end: t(1000),
+            video: StreamVideo::Benign,
+            viewers: ViewerCurve {
+                peak_concurrent: 5,
+                total_views: 10,
+            },
+            chat,
+        });
+        let history = yt.chat_history(id, t(500));
+        assert_eq!(history.len(), CHAT_HISTORY_LIMIT);
+        assert_eq!(history.last().unwrap().text, "m99");
+        assert_eq!(history[0].text, "m30");
+        // Earlier in the stream, fewer messages exist.
+        assert_eq!(yt.chat_history(id, t(10)).len(), 11);
+    }
+
+    #[test]
+    fn recorded_frames_contain_scannable_qr() {
+        let (yt, id) = platform_with_scam_stream();
+        let frames = yt.record(id, t(300), SimDuration::seconds(2));
+        assert_eq!(frames.len(), 2);
+        let hits = scan_frame(&frames[0]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].payload, b"https://xrp-2x.live/claim");
+    }
+
+    #[test]
+    fn benign_stream_frames_have_no_qr() {
+        let mut yt = YouTube::new();
+        let ch = yt.add_channel("just chatting".into(), 100);
+        let id = yt.add_stream(LiveStream {
+            id: LiveStreamId(0),
+            channel: ch,
+            title: "bitcoin market analysis".into(),
+            description: String::new(),
+            language: "en".into(),
+            fuzzy_topics: vec![],
+            start: t(0),
+            end: t(3600),
+            video: StreamVideo::Benign,
+            viewers: ViewerCurve {
+                peak_concurrent: 50,
+                total_views: 400,
+            },
+            chat: vec![],
+        });
+        let frames = yt.record(id, t(60), SimDuration::seconds(2));
+        assert_eq!(frames.len(), 2);
+        assert!(scan_frame(&frames[0]).is_empty());
+    }
+
+    #[test]
+    fn periodic_qr_duty_cycle() {
+        let mut yt = YouTube::new();
+        let ch = yt.add_channel("c".into(), 10);
+        let id = yt.add_stream(LiveStream {
+            id: LiveStreamId(0),
+            channel: ch,
+            title: "eth".into(),
+            description: String::new(),
+            language: "en".into(),
+            fuzzy_topics: vec![],
+            start: t(0),
+            end: t(3600),
+            video: StreamVideo::ScamLoop {
+                qr_url: "https://eth-x2.org".into(),
+                qr_duty_cycle: Some((15, 285)), // 15s visible per 5 min
+                qr_scale: 2,
+            },
+            viewers: ViewerCurve {
+                peak_concurrent: 10,
+                total_views: 50,
+            },
+            chat: vec![],
+        });
+        let s = yt.stream(id);
+        assert!(s.qr_visible(t(5)));
+        assert!(!s.qr_visible(t(20)));
+        assert!(s.qr_visible(t(305)));
+        // Recording during the hidden window sees nothing.
+        let frames = yt.record(id, t(100), SimDuration::seconds(2));
+        assert!(scan_frame(&frames[0]).is_empty());
+        // Recording during the visible window sees the QR.
+        let frames = yt.record(id, t(2), SimDuration::seconds(2));
+        assert_eq!(scan_frame(&frames[0]).len(), 1);
+    }
+
+    #[test]
+    fn recording_stops_at_stream_end() {
+        let (yt, id) = platform_with_scam_stream();
+        let frames = yt.record(id, t(7199), SimDuration::seconds(5));
+        assert_eq!(frames.len(), 1, "only one second remained");
+    }
+
+    #[test]
+    fn api_calls_are_counted() {
+        let (yt, id) = platform_with_scam_stream();
+        let kw = KeywordSet::new(["xrp"]);
+        yt.search_live(&kw, t(0));
+        yt.search_live(&kw, t(10));
+        yt.stream_details(id, t(10));
+        yt.chat_history(id, t(10));
+        yt.record(id, t(10), SimDuration::seconds(2));
+        let calls = yt.api_calls();
+        assert_eq!(calls.search, 2);
+        assert_eq!(calls.stream_details, 1);
+        assert_eq!(calls.chat_history, 1);
+        assert_eq!(calls.record, 1);
+    }
+
+    #[test]
+    fn viewer_curve_shape() {
+        let v = ViewerCurve {
+            peak_concurrent: 100,
+            total_views: 1000,
+        };
+        assert_eq!(v.concurrent_at(0.0), 0);
+        assert_eq!(v.concurrent_at(0.6), 100);
+        assert!(v.concurrent_at(0.9) < 100);
+        assert_eq!(v.views_by(1.0), 1000);
+        assert_eq!(v.views_by(0.5), 500);
+    }
+}

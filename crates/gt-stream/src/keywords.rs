@@ -1,0 +1,139 @@
+//! The search and validation keyword corpus (Table 3).
+
+use gt_text::KeywordSet;
+
+/// Coin names and ticker symbols of the top-20 coins (coinmarketcap,
+/// July 2023), with "coin" appended to ambiguous tickers as the paper
+/// did for ADA/SOL/DOT.
+pub const COIN_KEYWORDS: &[&str] = &[
+    "bitcoin", "btc", "ethereum", "eth", "tether", "usdt", "ripple", "xrp", "bnb", "usd coin",
+    "usdc", "cardano", "ada coin", "dogecoin", "doge", "solana", "sol coin", "tron", "trx",
+    "litecoin", "ltc", "polkadot", "dot coin", "polygon", "matic", "wrapped bitcoin", "wbtc",
+    "bitcoin cash", "bch", "toncoin", "ton", "dai", "avalanche", "avax", "shiba inu", "shib",
+    "binance usd", "busd", "algorand", "algo", "hex", "cryptocurrency", "crypto",
+];
+
+/// Domain keywords from CryptoScamTracker (Table 3, middle row).
+pub const DOMAIN_KEYWORDS: &[&str] = &[
+    "kf", "event", "musk", "elon", "give", "coin", "shiba", "drop", "double", "get", "doge",
+    "kefu", "vitalik", "claim", "binance", "hoskinson", "free", "charles", "star", "garling",
+];
+
+/// HTML keywords the landing-page validator looks for (Table 3, bottom
+/// row).
+pub const HTML_KEYWORDS: &[&str] = &[
+    "giveaway",
+    "participate",
+    "send",
+    "address",
+    "rules",
+    "crypto",
+    "bonus",
+    "immediately",
+    "hurry",
+];
+
+/// The 16 keywords too generic for Twitch title/tag filtering
+/// (Appendix B.1 removes them).
+pub const TWITCH_EXCLUDED_KEYWORDS: &[&str] = &[
+    "event", "give", "get", "free", "star", "claim", "drop", "double", "kf", "kefu", "charles",
+    "coin", "hex", "ton", "dai", "sol coin",
+];
+
+/// The assembled search keyword corpus.
+pub struct SearchKeywords {
+    /// The full search set: coins + domain keywords.
+    pub search: KeywordSet,
+    /// Top-20 coin names/tickers only (Section 4.3 coin tagging).
+    pub coins: KeywordSet,
+    /// HTML validation keywords.
+    pub html: KeywordSet,
+    /// Domain-name validation keywords.
+    pub domain: KeywordSet,
+    /// The flat search keyword list (for Figure 5 attribution).
+    pub search_terms: Vec<String>,
+}
+
+/// Build the full corpus.
+pub fn search_keyword_set() -> SearchKeywords {
+    let mut search_terms: Vec<String> = COIN_KEYWORDS.iter().map(|s| s.to_string()).collect();
+    for kw in DOMAIN_KEYWORDS {
+        if !search_terms.iter().any(|s| s == kw) {
+            search_terms.push(kw.to_string());
+        }
+    }
+    SearchKeywords {
+        search: KeywordSet::new(search_terms.clone()),
+        coins: KeywordSet::new(COIN_KEYWORDS.iter().copied()),
+        html: KeywordSet::new(HTML_KEYWORDS.iter().copied()),
+        domain: KeywordSet::new(DOMAIN_KEYWORDS.iter().copied()),
+        search_terms,
+    }
+}
+
+/// The Twitch-filter keyword set (search minus the 16 noisy terms).
+pub fn twitch_keyword_set() -> KeywordSet {
+    let kws = search_keyword_set();
+    let filtered: Vec<String> = kws
+        .search_terms
+        .into_iter()
+        .filter(|k| !TWITCH_EXCLUDED_KEYWORDS.contains(&k.as_str()))
+        .collect();
+    KeywordSet::new(filtered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_matches_table_3_shape() {
+        let kws = search_keyword_set();
+        assert!(kws.coins.len() >= 40, "top-20 coins with tickers");
+        assert_eq!(kws.html.len(), 9);
+        assert_eq!(kws.domain.len(), 20);
+        // No duplicates in the merged search set.
+        let mut sorted = kws.search_terms.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), kws.search_terms.len());
+    }
+
+    #[test]
+    fn search_matches_scam_stream_titles() {
+        let kws = search_keyword_set();
+        for title in [
+            "Elon Musk LIVE: 5000 BTC giveaway",
+            "Brad Garlinghouse announces XRP event",
+            "double your ethereum today",
+            "Charles Hoskinson ADA coin drop",
+        ] {
+            assert!(kws.search.matches(title), "{title}");
+        }
+        assert!(!kws.search.matches("cooking pasta with grandma"));
+    }
+
+    #[test]
+    fn html_keywords_match_landing_pages() {
+        let kws = search_keyword_set();
+        let html = "To participate, send crypto immediately. Hurry!";
+        assert!(kws.html.matches(html));
+    }
+
+    #[test]
+    fn twitch_set_drops_generic_terms() {
+        let tw = twitch_keyword_set();
+        assert!(!tw.matches("free giveaway event"), "generic words removed");
+        assert!(tw.matches("bitcoin ranked grind"), "coins stay");
+        assert!(tw.matches("elon watching the stream"), "musk terms stay");
+    }
+
+    #[test]
+    fn ambiguous_tickers_need_the_coin_suffix() {
+        let kws = search_keyword_set();
+        assert!(!kws.search.matches("playing a dot eating game"));
+        assert!(kws.search.matches("dot coin holders unite"));
+        assert!(!kws.search.matches("sol means sun in spanish"));
+        assert!(kws.search.matches("sol coin analysis"));
+    }
+}

@@ -1,0 +1,485 @@
+//! The YouTube monitoring pipeline.
+//!
+//! Faithful to Section 3.2: the search API is polled every 30 minutes
+//! for streams matching the keyword corpus; every discovered stream is
+//! then sampled every 7.5 minutes — stream metadata (concurrent/total
+//! viewers), the last 70 chat messages, and a two-second video
+//! recording whose frames are scanned for QR codes. URLs from chats and
+//! QR payloads become *leads*; each lead is crawled daily (with the
+//! hardened crawler) until the window ends or fetching errors three
+//! days in a row. Eleven infrastructure outage days suspend all
+//! polling.
+
+use crate::keywords::SearchKeywords;
+use gt_qr::scan_frame;
+use gt_sim::{CivilDate, SimDuration, SimTime};
+use gt_social::{ChannelId, LiveStreamId, YouTube};
+use gt_text::extract_urls;
+use gt_web::crawler::{Crawler, CrawlerConfig, RevisitState};
+use gt_web::{Url, WebHost};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// The paper's 11 infrastructure outage days.
+pub const OUTAGE_DAYS: [CivilDate; 11] = [
+    CivilDate::new(2023, 8, 15),
+    CivilDate::new(2023, 8, 16),
+    CivilDate::new(2023, 9, 1),
+    CivilDate::new(2023, 9, 28),
+    CivilDate::new(2023, 10, 6),
+    CivilDate::new(2023, 11, 18),
+    CivilDate::new(2023, 11, 19),
+    CivilDate::new(2023, 12, 12),
+    CivilDate::new(2023, 12, 26),
+    CivilDate::new(2024, 1, 6),
+    CivilDate::new(2024, 1, 21),
+];
+
+/// Monitoring parameters (defaults are the paper's cadences).
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    pub window_start: SimTime,
+    pub window_end: SimTime,
+    /// Search-poll cadence (paper: 30 minutes).
+    pub search_interval: SimDuration,
+    /// Stream/chat/video sampling cadence (paper: 7.5 minutes).
+    pub sample_interval: SimDuration,
+    /// Video recording length per sample (paper: 2 seconds).
+    pub record_seconds: i64,
+    /// Days on which nothing is polled or crawled.
+    pub outage_days: Vec<CivilDate>,
+    /// Crawl leads daily (can be disabled for monitor-only runs).
+    pub crawl: bool,
+    pub crawler: CrawlerConfig,
+}
+
+impl MonitorConfig {
+    /// The paper's configuration over a given window.
+    pub fn paper(window_start: SimTime, window_end: SimTime) -> Self {
+        MonitorConfig {
+            window_start,
+            window_end,
+            search_interval: SimDuration::minutes(30),
+            sample_interval: SimDuration::seconds(450),
+            record_seconds: 2,
+            outage_days: OUTAGE_DAYS.to_vec(),
+            crawl: true,
+            crawler: CrawlerConfig::default(),
+        }
+    }
+}
+
+/// Where a URL lead came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UrlSource {
+    QrCode,
+    Chat,
+}
+
+/// A URL extracted from a monitored stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UrlLead {
+    pub url: String,
+    pub source: UrlSource,
+    pub stream: LiveStreamId,
+    pub first_seen: SimTime,
+}
+
+/// Everything the monitor learned about one stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservedStream {
+    pub stream: LiveStreamId,
+    pub channel: ChannelId,
+    pub title: String,
+    pub description: String,
+    pub channel_name: String,
+    pub channel_subscribers: u64,
+    pub first_seen: SimTime,
+    pub last_seen: SimTime,
+    pub max_concurrent: u64,
+    pub max_total_views: u64,
+    /// Distinct chat messages observed across polls.
+    pub chat_messages_seen: usize,
+    /// Video samples taken.
+    pub samples: usize,
+    /// Samples in which a QR code was decoded.
+    pub qr_samples: usize,
+    /// First/last sample time at which a QR was decoded.
+    pub qr_first_seen: Option<SimTime>,
+    pub qr_last_seen: Option<SimTime>,
+}
+
+/// The final crawled content for a lead URL.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrawledPage {
+    pub url: String,
+    pub html: String,
+    pub fetched: SimTime,
+}
+
+/// The monitoring run's full output.
+#[derive(Debug, Default)]
+pub struct MonitorReport {
+    pub streams: Vec<ObservedStream>,
+    pub leads: Vec<UrlLead>,
+    /// Latest successfully crawled page per URL.
+    pub pages: HashMap<String, CrawledPage>,
+    pub searches_run: u64,
+    pub samples_run: u64,
+    pub outage_ticks_skipped: u64,
+    pub crawl_attempts: u64,
+}
+
+impl MonitorReport {
+    /// Distinct lead hosts.
+    pub fn lead_domains(&self) -> HashSet<String> {
+        self.leads
+            .iter()
+            .filter_map(|l| Url::parse(&l.url).map(|u| u.host))
+            .collect()
+    }
+}
+
+struct Tracked {
+    observed: ObservedStream,
+    chat_seen: HashSet<(SimTime, String)>,
+    live: bool,
+}
+
+/// The monitor itself.
+pub struct Monitor {
+    config: MonitorConfig,
+    keywords: SearchKeywords,
+}
+
+impl Monitor {
+    pub fn new(config: MonitorConfig, keywords: SearchKeywords) -> Self {
+        Monitor { config, keywords }
+    }
+
+    fn is_outage(&self, t: SimTime) -> bool {
+        let d = t.date();
+        self.config.outage_days.contains(&d)
+    }
+
+    /// Run the monitoring loop against the platform and (optionally)
+    /// crawl leads against the web host.
+    pub fn run(&self, youtube: &YouTube, web: &WebHost) -> MonitorReport {
+        let cfg = &self.config;
+        let mut report = MonitorReport::default();
+        let mut tracked: HashMap<LiveStreamId, Tracked> = HashMap::new();
+        let mut lead_seen: HashSet<(String, LiveStreamId, UrlSource)> = HashSet::new();
+        let mut revisits: Vec<RevisitState> = Vec::new();
+        let mut known_urls: HashSet<String> = HashSet::new();
+        let crawler = Crawler::new(cfg.crawler);
+
+        let mut t = cfg.window_start;
+        let ticks_per_search =
+            (cfg.search_interval.as_seconds() / cfg.sample_interval.as_seconds()).max(1);
+        let mut tick: i64 = 0;
+
+        while t < cfg.window_end {
+            if self.is_outage(t) {
+                report.outage_ticks_skipped += 1;
+                tick += 1;
+                t += cfg.sample_interval;
+                continue;
+            }
+
+            // ---- search poll ----
+            if tick % ticks_per_search == 0 {
+                report.searches_run += 1;
+                for hit in youtube.search_live(&self.keywords.search, t) {
+                    tracked.entry(hit.stream).or_insert_with(|| {
+                        let s = youtube.stream(hit.stream);
+                        let channel = youtube
+                            .channel_details(s.channel)
+                            .expect("search hit has a channel");
+                        Tracked {
+                            observed: ObservedStream {
+                                stream: hit.stream,
+                                channel: s.channel,
+                                title: s.title.clone(),
+                                description: s.description.clone(),
+                                channel_name: channel.name,
+                                channel_subscribers: channel.subscribers,
+                                first_seen: t,
+                                last_seen: t,
+                                max_concurrent: 0,
+                                max_total_views: 0,
+                                chat_messages_seen: 0,
+                                samples: 0,
+                                qr_samples: 0,
+                                qr_first_seen: None,
+                                qr_last_seen: None,
+                            },
+                            chat_seen: HashSet::new(),
+                            live: true,
+                        }
+                    });
+                }
+            }
+
+            // ---- per-stream sampling ----
+            for state in tracked.values_mut().filter(|s| s.live) {
+                let id = state.observed.stream;
+                let Some((concurrent, total)) = youtube.stream_details(id, t) else {
+                    state.live = false;
+                    continue;
+                };
+                report.samples_run += 1;
+                let obs = &mut state.observed;
+                obs.last_seen = t;
+                obs.max_concurrent = obs.max_concurrent.max(concurrent);
+                obs.max_total_views = obs.max_total_views.max(total);
+                obs.samples += 1;
+
+                // Chat poll: last 70 messages; count only new ones and
+                // extract URLs.
+                for msg in youtube.chat_history(id, t) {
+                    if state.chat_seen.insert((msg.time, msg.text.clone())) {
+                        obs.chat_messages_seen += 1;
+                        for url in extract_urls(&msg.text) {
+                            if lead_seen.insert((url.url.clone(), id, UrlSource::Chat)) {
+                                report.leads.push(UrlLead {
+                                    url: url.url.clone(),
+                                    source: UrlSource::Chat,
+                                    stream: id,
+                                    first_seen: t,
+                                });
+                            }
+                            if known_urls.insert(url.url.clone()) {
+                                if let Some(parsed) = Url::parse(&url.url) {
+                                    revisits.push(RevisitState::new(parsed));
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // Video recording: scan the sampled frames for QR codes.
+                let frames =
+                    youtube.record(id, t, SimDuration::seconds(cfg.record_seconds));
+                let mut saw_qr = false;
+                for frame in &frames {
+                    for hit in scan_frame(frame) {
+                        saw_qr = true;
+                        if let Ok(text) = String::from_utf8(hit.payload.clone()) {
+                            for url in extract_urls(&text) {
+                                if lead_seen.insert((url.url.clone(), id, UrlSource::QrCode)) {
+                                    report.leads.push(UrlLead {
+                                        url: url.url.clone(),
+                                        source: UrlSource::QrCode,
+                                        stream: id,
+                                        first_seen: t,
+                                    });
+                                }
+                                if known_urls.insert(url.url.clone()) {
+                                    if let Some(parsed) = Url::parse(&url.url) {
+                                        revisits.push(RevisitState::new(parsed));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if saw_qr {
+                        break; // both frames show the same overlay
+                    }
+                }
+                if saw_qr {
+                    obs.qr_samples += 1;
+                    if obs.qr_first_seen.is_none() {
+                        obs.qr_first_seen = Some(t);
+                    }
+                    obs.qr_last_seen = Some(t);
+                }
+            }
+
+            // ---- daily crawl: each lead is visited at most once per
+            // UTC day (`RevisitState::due`), starting the day it is
+            // discovered ----
+            if cfg.crawl {
+                for state in revisits.iter_mut() {
+                    if !state.due(t) {
+                        continue;
+                    }
+                    report.crawl_attempts += 1;
+                    let outcome = crawler.crawl(web, &state.url, t);
+                    if let Some(html) = outcome.html() {
+                        report.pages.insert(
+                            state.url.to_string(),
+                            CrawledPage {
+                                url: state.url.to_string(),
+                                html: html.to_string(),
+                                fetched: t,
+                            },
+                        );
+                    }
+                    state.record(&outcome, t);
+                }
+            }
+
+            tick += 1;
+            t += cfg.sample_interval;
+        }
+
+        report.streams = tracked.into_values().map(|s| s.observed).collect();
+        report.streams.sort_by_key(|s| s.stream);
+        report.leads.sort_by_key(|l| (l.stream, l.first_seen));
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keywords::search_keyword_set;
+    use gt_social::{ChatMessage, LiveStream, StreamVideo, ViewerCurve};
+
+    fn t0() -> SimTime {
+        SimTime::from_ymd(2023, 7, 24)
+    }
+
+    fn scam_platform() -> (YouTube, WebHost) {
+        let mut yt = YouTube::new();
+        let ch = yt.add_channel("Crypto Daily".into(), 20_000);
+        yt.add_stream(LiveStream {
+            id: LiveStreamId(0),
+            channel: ch,
+            title: "Elon Musk 5000 BTC giveaway LIVE".into(),
+            description: "scan and participate".into(),
+            language: "en".into(),
+            fuzzy_topics: vec![],
+            start: t0() + SimDuration::hours(1),
+            end: t0() + SimDuration::hours(3),
+            video: StreamVideo::ScamLoop {
+                qr_url: "https://btc-x2.fund/claim".into(),
+                qr_duty_cycle: None,
+                qr_scale: 2,
+            },
+            viewers: ViewerCurve {
+                peak_concurrent: 500,
+                total_views: 9_000,
+            },
+            chat: vec![ChatMessage {
+                time: t0() + SimDuration::hours(1) + SimDuration::minutes(5),
+                author: "mod".into(),
+                text: "join at https://btc-x2.fund/claim".into(),
+            }],
+        });
+        let mut web = WebHost::new();
+        web.add_scam_site(gt_web::ScamSiteSpec {
+            domain: "btc-x2.fund".into(),
+            landing_html:
+                "<html>Hurry! Send BTC to 1A1zP1eP5QGefi2DMPTfTL5SLmv7DivfNa to participate</html>"
+                    .into(),
+            front_html: String::new(),
+            cloaking: Default::default(),
+            online_from: t0(),
+            offline_from: None,
+        });
+        (yt, web)
+    }
+
+    fn short_config(hours: i64) -> MonitorConfig {
+        let mut c = MonitorConfig::paper(t0(), t0() + SimDuration::hours(hours));
+        c.outage_days = vec![];
+        c
+    }
+
+    #[test]
+    fn finds_stream_and_extracts_both_lead_kinds() {
+        let (yt, web) = scam_platform();
+        let monitor = Monitor::new(short_config(5), search_keyword_set());
+        let report = monitor.run(&yt, &web);
+
+        assert_eq!(report.streams.len(), 1);
+        let obs = &report.streams[0];
+        assert!(obs.samples > 5);
+        assert!(obs.qr_samples > 0);
+        assert_eq!(obs.channel_subscribers, 20_000);
+        assert!(obs.max_total_views > 0);
+        assert_eq!(obs.chat_messages_seen, 1);
+
+        let sources: HashSet<UrlSource> = report.leads.iter().map(|l| l.source).collect();
+        assert!(sources.contains(&UrlSource::QrCode), "QR lead found");
+        assert!(sources.contains(&UrlSource::Chat), "chat lead found");
+        assert!(report.lead_domains().contains("btc-x2.fund"));
+    }
+
+    #[test]
+    fn crawls_discovered_leads() {
+        let (yt, web) = scam_platform();
+        let monitor = Monitor::new(short_config(6), search_keyword_set());
+        let report = monitor.run(&yt, &web);
+        let page = report
+            .pages
+            .get("https://btc-x2.fund/claim")
+            .expect("lead crawled");
+        assert!(page.html.contains("1A1zP1eP5QGe"));
+        assert!(report.crawl_attempts >= 1);
+    }
+
+    #[test]
+    fn respects_outage_days() {
+        let (yt, web) = scam_platform();
+        let mut config = short_config(5);
+        config.outage_days = vec![CivilDate::new(2023, 7, 24)];
+        let monitor = Monitor::new(config, search_keyword_set());
+        let report = monitor.run(&yt, &web);
+        assert!(report.streams.is_empty(), "outage day: nothing observed");
+        assert_eq!(report.searches_run, 0);
+        assert!(report.outage_ticks_skipped > 0);
+    }
+
+    #[test]
+    fn benign_streams_without_keywords_are_not_found() {
+        let mut yt = YouTube::new();
+        let ch = yt.add_channel("cooking channel".into(), 500);
+        yt.add_stream(LiveStream {
+            id: LiveStreamId(0),
+            channel: ch,
+            title: "pasta night live".into(),
+            description: "dinner stream".into(),
+            language: "en".into(),
+            fuzzy_topics: vec![],
+            start: t0(),
+            end: t0() + SimDuration::hours(2),
+            video: StreamVideo::Benign,
+            viewers: ViewerCurve {
+                peak_concurrent: 50,
+                total_views: 300,
+            },
+            chat: vec![],
+        });
+        let web = WebHost::new();
+        let monitor = Monitor::new(short_config(3), search_keyword_set());
+        let report = monitor.run(&yt, &web);
+        assert!(report.streams.is_empty());
+        assert!(report.searches_run > 0);
+    }
+
+    #[test]
+    fn qr_persistence_is_tracked() {
+        let (yt, web) = scam_platform();
+        let monitor = Monitor::new(short_config(5), search_keyword_set());
+        let report = monitor.run(&yt, &web);
+        let obs = &report.streams[0];
+        let first = obs.qr_first_seen.expect("qr seen");
+        let last = obs.qr_last_seen.unwrap();
+        // Visible through (most of) the stream's remaining life.
+        assert!((last - first).as_seconds() >= 3_600, "{}", last - first);
+        assert_eq!(obs.qr_samples, obs.samples, "continuously visible");
+    }
+
+    #[test]
+    fn stops_sampling_after_stream_ends() {
+        let (yt, web) = scam_platform();
+        let monitor = Monitor::new(short_config(24), search_keyword_set());
+        let report = monitor.run(&yt, &web);
+        let obs = &report.streams[0];
+        // 2-hour stream sampled at 7.5-minute cadence: ≤ 17 samples.
+        assert!(obs.samples <= 17, "{}", obs.samples);
+        assert!(obs.last_seen < t0() + SimDuration::hours(4));
+    }
+}

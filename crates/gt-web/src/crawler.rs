@@ -1,0 +1,406 @@
+//! The hardened crawler and its revisit policy.
+
+use crate::host::{FetchError, NetOrigin, Request, Response, WebHost};
+use crate::url::Url;
+use gt_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Crawler hardening configuration — each flag counters one cloaking
+/// behaviour from the paper's pilot study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrawlerConfig {
+    /// Egress via VPN (residential IP) instead of the institutional
+    /// network.
+    pub use_vpn: bool,
+    /// Spoof a mainstream Windows browser User-Agent.
+    pub spoof_user_agent: bool,
+    /// Heuristically click through interactive front pages.
+    pub clickthrough: bool,
+    /// Registered as a verified bot with the anti-bot provider.
+    pub cloudflare_verified: bool,
+    /// Maximum front-page interactions before giving up.
+    pub max_interactions: u32,
+}
+
+impl Default for CrawlerConfig {
+    /// The fully hardened configuration the paper deployed.
+    fn default() -> Self {
+        CrawlerConfig {
+            use_vpn: true,
+            spoof_user_agent: true,
+            clickthrough: true,
+            cloudflare_verified: true,
+            max_interactions: 3,
+        }
+    }
+}
+
+impl CrawlerConfig {
+    /// A naive crawler with no counter-measures (ablation baseline).
+    pub fn naive() -> Self {
+        CrawlerConfig {
+            use_vpn: false,
+            spoof_user_agent: false,
+            clickthrough: false,
+            cloudflare_verified: false,
+            max_interactions: 0,
+        }
+    }
+}
+
+/// The result of crawling one URL once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrawlOutcome {
+    /// Reached a final content page.
+    Page { html: String },
+    /// Server said 403 (cloaked away).
+    Forbidden,
+    /// Stuck at an anti-bot challenge.
+    Challenged,
+    /// Stuck at a front page (click-through disabled or exhausted).
+    StuckAtFrontPage,
+    /// Network-level failure.
+    Error(FetchError),
+}
+
+impl CrawlOutcome {
+    pub fn html(&self) -> Option<&str> {
+        match self {
+            CrawlOutcome::Page { html } => Some(html),
+            _ => None,
+        }
+    }
+
+    /// Whether this outcome counts as a fetch error for the 3-day
+    /// retirement rule (paper: "fetching the URL resulted in an error").
+    pub fn is_error(&self) -> bool {
+        matches!(self, CrawlOutcome::Error(_))
+    }
+}
+
+/// The hardened crawler.
+#[derive(Debug, Clone)]
+pub struct Crawler {
+    config: CrawlerConfig,
+}
+
+const SPOOFED_UA: &str =
+    "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 Chrome/114.0 Safari/537.36";
+const HONEST_UA: &str = "gt-crawler/0.1 (research; Linux x86_64)";
+
+impl Crawler {
+    pub fn new(config: CrawlerConfig) -> Self {
+        Crawler { config }
+    }
+
+    pub fn config(&self) -> CrawlerConfig {
+        self.config
+    }
+
+    fn request(&self, url: &Url, interacted: bool) -> Request {
+        Request {
+            url: url.clone(),
+            origin: if self.config.use_vpn {
+                NetOrigin::Residential
+            } else {
+                NetOrigin::Institutional
+            },
+            user_agent: if self.config.spoof_user_agent {
+                SPOOFED_UA.to_string()
+            } else {
+                HONEST_UA.to_string()
+            },
+            interacted,
+            solves_challenge: self.config.cloudflare_verified,
+        }
+    }
+
+    /// Crawl one URL at `now`, following front pages up to the
+    /// configured interaction budget.
+    pub fn crawl(&self, host: &WebHost, url: &Url, now: SimTime) -> CrawlOutcome {
+        let mut interacted = false;
+        let mut interactions = 0u32;
+        loop {
+            let response: Response = match host.fetch(&self.request(url, interacted), now) {
+                Ok(r) => r,
+                Err(e) => return CrawlOutcome::Error(e),
+            };
+            if response.status == 403 {
+                return CrawlOutcome::Forbidden;
+            }
+            if response.is_challenge() {
+                return CrawlOutcome::Challenged;
+            }
+            if response.is_front_page() {
+                if !self.config.clickthrough || interactions >= self.config.max_interactions {
+                    return CrawlOutcome::StuckAtFrontPage;
+                }
+                interactions += 1;
+                interacted = true;
+                continue;
+            }
+            return CrawlOutcome::Page {
+                html: response.body,
+            };
+        }
+    }
+
+    /// Crawl a batch of URLs in parallel with a worker pool.
+    pub fn crawl_many(
+        &self,
+        host: &WebHost,
+        urls: &[Url],
+        now: SimTime,
+        workers: usize,
+    ) -> Vec<CrawlOutcome> {
+        assert!(workers >= 1);
+        let results: Vec<parking_lot::Mutex<Option<CrawlOutcome>>> =
+            urls.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers.min(urls.len().max(1)) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= urls.len() {
+                        break;
+                    }
+                    let outcome = self.crawl(host, &urls[i], now);
+                    *results[i].lock() = Some(outcome);
+                });
+            }
+        })
+        .expect("crawler worker panicked");
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("every url crawled"))
+            .collect()
+    }
+}
+
+/// State of one URL under the daily revisit policy: crawl every day
+/// until the collection window ends or three consecutive error days.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RevisitState {
+    pub url: Url,
+    pub consecutive_errors: u32,
+    pub retired: bool,
+    /// Day number of the last visit.
+    pub last_visited_day: Option<i64>,
+}
+
+/// Errors-in-a-row threshold after which a URL is retired.
+pub const RETIRE_AFTER_ERRORS: u32 = 3;
+
+impl RevisitState {
+    pub fn new(url: Url) -> Self {
+        RevisitState {
+            url,
+            consecutive_errors: 0,
+            retired: false,
+            last_visited_day: None,
+        }
+    }
+
+    /// Whether the URL is due for a crawl at `now` (once per UTC day).
+    pub fn due(&self, now: SimTime) -> bool {
+        !self.retired && self.last_visited_day != Some(now.day_number())
+    }
+
+    /// Record the outcome of a crawl at `now`.
+    pub fn record(&mut self, outcome: &CrawlOutcome, now: SimTime) {
+        self.last_visited_day = Some(now.day_number());
+        if outcome.is_error() {
+            self.consecutive_errors += 1;
+            if self.consecutive_errors >= RETIRE_AFTER_ERRORS {
+                self.retired = true;
+            }
+        } else {
+            self.consecutive_errors = 0;
+        }
+    }
+}
+
+/// Convenience: run the daily revisit loop over a window for a set of
+/// URLs, invoking `on_page` for every successful page fetch.
+pub fn run_revisit_loop<F>(
+    crawler: &Crawler,
+    host: &WebHost,
+    urls: Vec<Url>,
+    window_start: SimTime,
+    window_end: SimTime,
+    mut on_page: F,
+) -> Vec<RevisitState>
+where
+    F: FnMut(&Url, &str, SimTime),
+{
+    let mut states: Vec<RevisitState> = urls.into_iter().map(RevisitState::new).collect();
+    let mut now = window_start;
+    while now < window_end {
+        for state in &mut states {
+            if !state.due(now) {
+                continue;
+            }
+            let outcome = crawler.crawl(host, &state.url, now);
+            if let Some(html) = outcome.html() {
+                on_page(&state.url, html, now);
+            }
+            state.record(&outcome, now);
+        }
+        now += SimDuration::days(1);
+    }
+    states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{CloakingProfile, ScamSiteSpec, FRONT_PAGE_MARKER};
+
+    fn t(s: i64) -> SimTime {
+        SimTime(1_690_156_800 + s)
+    }
+
+    fn host_with(cloaking: CloakingProfile, offline_from: Option<SimTime>) -> WebHost {
+        let mut host = WebHost::new();
+        host.add_scam_site(ScamSiteSpec {
+            domain: "btc-2x.fund".into(),
+            landing_html: "<html>Send BTC to 1A1zP1eP5QGefi2DMPTfTL5SLmv7DivfNa now! hurry</html>"
+                .into(),
+            front_html: format!("<html><button {FRONT_PAGE_MARKER}>BTC</button></html>"),
+            cloaking,
+            online_from: t(0),
+            offline_from,
+        });
+        host
+    }
+
+    fn url() -> Url {
+        Url::parse("https://btc-2x.fund/").unwrap()
+    }
+
+    #[test]
+    fn hardened_crawler_defeats_all_cloaking() {
+        let host = host_with(
+            CloakingProfile {
+                ip_cloaking: true,
+                ua_cloaking: true,
+                front_page: true,
+                cloudflare: true,
+            },
+            None,
+        );
+        let crawler = Crawler::new(CrawlerConfig::default());
+        let outcome = crawler.crawl(&host, &url(), t(10));
+        let html = outcome.html().expect("hardened crawler reaches the page");
+        assert!(html.contains("1A1zP1eP5QGe"));
+    }
+
+    #[test]
+    fn naive_crawler_cloaked_away() {
+        let host = host_with(
+            CloakingProfile {
+                ip_cloaking: true,
+                ..Default::default()
+            },
+            None,
+        );
+        let crawler = Crawler::new(CrawlerConfig::naive());
+        assert_eq!(crawler.crawl(&host, &url(), t(10)), CrawlOutcome::Forbidden);
+    }
+
+    #[test]
+    fn no_clickthrough_sticks_at_front_page() {
+        let host = host_with(
+            CloakingProfile {
+                front_page: true,
+                ..Default::default()
+            },
+            None,
+        );
+        let mut config = CrawlerConfig::default();
+        config.clickthrough = false;
+        let crawler = Crawler::new(config);
+        assert_eq!(
+            crawler.crawl(&host, &url(), t(10)),
+            CrawlOutcome::StuckAtFrontPage
+        );
+    }
+
+    #[test]
+    fn unverified_crawler_stuck_at_challenge() {
+        let host = host_with(
+            CloakingProfile {
+                cloudflare: true,
+                ..Default::default()
+            },
+            None,
+        );
+        let mut config = CrawlerConfig::default();
+        config.cloudflare_verified = false;
+        let crawler = Crawler::new(config);
+        assert_eq!(crawler.crawl(&host, &url(), t(10)), CrawlOutcome::Challenged);
+    }
+
+    #[test]
+    fn crawl_many_parallel_matches_serial() {
+        let host = host_with(CloakingProfile::default(), None);
+        let crawler = Crawler::new(CrawlerConfig::default());
+        let urls: Vec<Url> = (0..20)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Url::parse("https://btc-2x.fund/").unwrap()
+                } else {
+                    Url::parse(&format!("https://missing{i}.com/")).unwrap()
+                }
+            })
+            .collect();
+        let parallel = crawler.crawl_many(&host, &urls, t(5), 4);
+        let serial: Vec<CrawlOutcome> =
+            urls.iter().map(|u| crawler.crawl(&host, u, t(5))).collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn revisit_retires_after_three_error_days() {
+        // Site goes offline after day 2; states should retire on day 5.
+        let host = host_with(CloakingProfile::default(), Some(t(2 * 86_400)));
+        let crawler = Crawler::new(CrawlerConfig::default());
+        let mut pages = 0;
+        let states = run_revisit_loop(
+            &crawler,
+            &host,
+            vec![url()],
+            t(0),
+            t(10 * 86_400),
+            |_, _, _| pages += 1,
+        );
+        assert_eq!(pages, 2, "two successful daily crawls");
+        assert!(states[0].retired);
+        assert_eq!(states[0].consecutive_errors, RETIRE_AFTER_ERRORS);
+        // Retired after day 4 (errors on days 2,3,4): last visit day 4.
+        assert_eq!(
+            states[0].last_visited_day,
+            Some(t(4 * 86_400).day_number())
+        );
+    }
+
+    #[test]
+    fn transient_errors_reset_the_counter() {
+        let mut state = RevisitState::new(url());
+        let day = |d: i64| t(d * 86_400);
+        state.record(&CrawlOutcome::Error(FetchError::ConnectionFailed), day(0));
+        state.record(&CrawlOutcome::Error(FetchError::ConnectionFailed), day(1));
+        state.record(&CrawlOutcome::Page { html: "x".into() }, day(2));
+        assert_eq!(state.consecutive_errors, 0);
+        assert!(!state.retired);
+    }
+
+    #[test]
+    fn due_once_per_day() {
+        let mut state = RevisitState::new(url());
+        assert!(state.due(t(0)));
+        state.record(&CrawlOutcome::Page { html: "x".into() }, t(0));
+        assert!(!state.due(t(3600)), "same UTC day");
+        assert!(state.due(t(86_400 + 1)), "next day");
+    }
+}

@@ -1,0 +1,25 @@
+//! Simulated web hosting and the hardened crawler.
+//!
+//! Section 3.2 of the paper identifies four cloaking behaviours on scam
+//! landing pages and the counter-measure for each:
+//!
+//! | cloaking                    | counter-measure                    |
+//! |-----------------------------|------------------------------------|
+//! | IP-based (403 to inst. IPs) | VPN egress (residential IP)        |
+//! | user-agent based            | spoofed Windows/Mac browser UA     |
+//! | interactive front pages     | heuristic click-through module     |
+//! | Cloudflare anti-bot         | verified-bot registration          |
+//!
+//! [`host::WebHost`] serves generated scam (and benign) sites with any
+//! combination of those behaviours; [`crawler::Crawler`] implements the
+//! hardened client. The crawler also owns the paper's revisit policy:
+//! crawl daily until the collection window ends or fetching fails three
+//! days in a row.
+
+pub mod crawler;
+pub mod host;
+pub mod url;
+
+pub use crawler::{CrawlOutcome, Crawler, CrawlerConfig};
+pub use host::{CloakingProfile, FetchError, NetOrigin, Response, ScamSiteSpec, WebHost};
+pub use url::Url;

@@ -1,0 +1,201 @@
+//! Every number the paper reports, as constants.
+//!
+//! These drive (a) the world generator's targets and (b) the
+//! paper-vs-measured comparison in EXPERIMENTS.md. Section references
+//! are to the IMC 2024 paper.
+
+/// Table 1 + Section 3.
+pub mod datasets {
+    /// Domains in the CryptoScamTracker corpus (Li et al.).
+    pub const SCAMDB_DOMAINS: usize = 3_863;
+    /// Of those, promoted on Twitter.
+    pub const TWITTER_DOMAINS: usize = 361;
+    /// Scam tweets containing a known scam domain.
+    pub const TWITTER_ARTIFACTS: usize = 457_248;
+    /// Distinct accounts posting them.
+    pub const TWITTER_ACCOUNTS: usize = 33_841;
+    /// Scam livestream domains found on YouTube.
+    pub const YOUTUBE_DOMAINS: usize = 343;
+    /// Scam livestreams.
+    pub const YOUTUBE_ARTIFACTS: usize = 2_069;
+    /// Distinct channels hosting them.
+    pub const YOUTUBE_ACCOUNTS: usize = 1_632;
+}
+
+/// Section 4 (lures).
+pub mod lures {
+    /// Peak scam tweets in a single week (March 2022).
+    pub const TWITTER_PEAK_WEEK: usize = 90_984;
+    /// Peak scam streams in a single week.
+    pub const YOUTUBE_PEAK_STREAMS: usize = 289;
+    /// Peak weekly stream views.
+    pub const YOUTUBE_PEAK_VIEWS: u64 = 1_869_399;
+    /// Fraction of scam tweets carrying a hashtag.
+    pub const HASHTAG_RATE: f64 = 0.96;
+    /// Fraction of scam tweets mentioning a user.
+    pub const MENTION_RATE: f64 = 0.001;
+    /// Fraction of scam tweets replying to another tweet.
+    pub const REPLY_RATE: f64 = 0.003;
+    /// Median subscribers of scam-hosting channels.
+    pub const CHANNEL_SUBSCRIBERS_MEDIAN: u64 = 16_800;
+    /// Largest channel (likely compromised).
+    pub const CHANNEL_SUBSCRIBERS_MAX: u64 = 19_000_000;
+    /// Fraction of streams with a crypto keyword in metadata.
+    pub const STREAM_KEYWORD_RATE: f64 = 0.93;
+    /// Coin reference rates among scam tweets (Section 4.3).
+    pub const TWITTER_COIN_RATES: [(&str, f64); 3] =
+        [("ripple", 0.91), ("ethereum", 0.12), ("bitcoin", 0.07)];
+    /// Coin reference rates among scam streams.
+    pub const YOUTUBE_COIN_RATES: [(&str, f64); 3] =
+        [("bitcoin", 0.65), ("ethereum", 0.49), ("ripple", 0.40)];
+}
+
+/// Section 5 (payments). All USD figures from Table 2.
+pub mod payments {
+    /// Twitter domains carrying any BTC/ETH/XRP address.
+    pub const TWITTER_DOMAINS_WITH_COIN: usize = 258;
+    /// Of those, domains whose addresses received any transaction.
+    pub const TWITTER_DOMAINS_PAID: usize = 121;
+    /// Distinct addresses across the Twitter domains.
+    pub const TWITTER_ADDRESSES: usize = 186;
+    /// All incoming payments to Twitter scam addresses.
+    pub const TWITTER_PAYMENTS_ANY: usize = 1_633;
+    /// Payments within one week of a promoting tweet (before the
+    /// known-scam-sender filter).
+    pub const TWITTER_PAYMENTS_COOCCURRING_RAW: usize = 695;
+    /// Removed because the sender was a known scam address.
+    pub const TWITTER_CONSOLIDATIONS: usize = 24;
+    /// Final co-occurring victim payments.
+    pub const TWITTER_PAYMENTS: usize = 671;
+    /// Distinct senders behind them.
+    pub const TWITTER_SENDERS: usize = 528;
+    /// Distinct recipient addresses.
+    pub const TWITTER_RECIPIENTS: usize = 68;
+
+    pub const YOUTUBE_DOMAINS_WITH_COIN: usize = 342;
+    pub const YOUTUBE_DOMAINS_PAID: usize = 231;
+    pub const YOUTUBE_PAYMENTS_ANY: usize = 2_074;
+    pub const YOUTUBE_PAYMENTS_COOCCURRING_RAW: usize = 695;
+    pub const YOUTUBE_CONSOLIDATIONS: usize = 57;
+    pub const YOUTUBE_PAYMENTS: usize = 638;
+    pub const YOUTUBE_SENDERS: usize = 399;
+    pub const YOUTUBE_RECIPIENTS: usize = 271;
+
+    /// Table 2 — co-occurring revenue, USD.
+    pub const TWITTER_REVENUE: f64 = 2_693_009.0;
+    pub const TWITTER_REVENUE_BTC: f64 = 1_269_579.0;
+    pub const TWITTER_REVENUE_ETH: f64 = 442_583.0;
+    pub const TWITTER_REVENUE_XRP: f64 = 980_847.0;
+    pub const TWITTER_REVENUE_ANY: f64 = 6_598_691.0;
+
+    pub const YOUTUBE_REVENUE: f64 = 1_932_654.0;
+    pub const YOUTUBE_REVENUE_BTC: f64 = 1_422_065.0;
+    pub const YOUTUBE_REVENUE_ETH: f64 = 266_693.0;
+    pub const YOUTUBE_REVENUE_XRP: f64 = 243_896.0;
+    pub const YOUTUBE_REVENUE_ANY: f64 = 4_705_978.0;
+
+    /// Conversion rates (Section 5.4).
+    pub const TWITTER_CONVERSION: f64 = 0.0012; // 0.12% per tweet
+    pub const YOUTUBE_CONVERSION: f64 = 0.000039; // 0.0039% per view
+
+    /// Payment origins: fraction of payments from centralized
+    /// exchanges (combined platforms).
+    pub const EXCHANGE_ORIGIN_RATE: f64 = 0.58;
+    pub const EXCHANGE_ORIGIN_COUNT: usize = 755;
+
+    /// Whale structure: top-k payments capturing value shares.
+    pub const TWITTER_TOP_FOR_HALF: usize = 24;
+    pub const TWITTER_TOP_FOR_90PCT: usize = 164;
+    pub const YOUTUBE_TOP_FOR_HALF: usize = 20;
+    pub const YOUTUBE_TOP_FOR_90PCT: usize = 147;
+}
+
+/// Section 5.5 (scammer behaviour).
+pub mod scammers {
+    /// Distinct recipients across the 1,309 payments.
+    pub const DISTINCT_RECIPIENTS: usize = 339;
+    /// BTC recipient addresses among them.
+    pub const BTC_RECIPIENTS: usize = 166;
+    /// BTC recipients in a multi-input cluster of size one.
+    pub const BTC_SINGLETON_RECIPIENTS: usize = 145;
+    /// Distinct recipients of outgoing transactions from scam addresses.
+    pub const OUTGOING_RECIPIENTS: usize = 1_363;
+    pub const OUTGOING_EXCHANGE: usize = 57;
+    pub const OUTGOING_TOKEN_CONTRACT: usize = 13;
+    pub const OUTGOING_MIXING: usize = 4;
+    pub const OUTGOING_SCAM: usize = 22;
+    pub const OUTGOING_SANCTIONED: usize = 13;
+}
+
+/// Appendix B (pilot study).
+pub mod pilot {
+    /// Scam streams identified during the 14-day pilot.
+    pub const STREAMS: usize = 276;
+    /// Unique giveaway sites they promoted.
+    pub const SITES: usize = 59;
+    /// Streams whose QR persistence was tracked.
+    pub const QR_TRACKED: usize = 41;
+    /// QR persistence (seconds).
+    pub const QR_MEAN_SECONDS: f64 = 7_200.0;
+    pub const QR_MEDIAN_SECONDS: f64 = 3_140.0;
+    /// One outlier showed the QR ~15 s at a time, periodically.
+    pub const QR_PERIODIC_SECONDS: i64 = 15;
+    /// Candidate Twitch streams after filtering.
+    pub const TWITCH_CANDIDATES: usize = 250;
+}
+
+/// Appendix B.2 / Figure 5 (keywords).
+pub mod keywords_fig5 {
+    /// Fraction of returned streams containing >= 1 search keyword.
+    pub const STREAMS_WITH_KEYWORD: f64 = 0.55;
+    /// Fraction of keyword-streams covered by the top 20 keywords.
+    pub const TOP20_SHARE: f64 = 0.90;
+    /// Among keyword-less streams, fraction not in English.
+    pub const NON_ENGLISH_AMONG_KEYWORDLESS: f64 = 0.50;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn funnels_are_internally_consistent() {
+        // raw co-occurring − consolidations = final payments.
+        assert_eq!(
+            payments::TWITTER_PAYMENTS_COOCCURRING_RAW - payments::TWITTER_CONSOLIDATIONS,
+            payments::TWITTER_PAYMENTS
+        );
+        assert_eq!(
+            payments::YOUTUBE_PAYMENTS_COOCCURRING_RAW - payments::YOUTUBE_CONSOLIDATIONS,
+            payments::YOUTUBE_PAYMENTS
+        );
+        // Per-coin revenue sums to the platform total (±rounding).
+        let t = payments::TWITTER_REVENUE_BTC
+            + payments::TWITTER_REVENUE_ETH
+            + payments::TWITTER_REVENUE_XRP;
+        assert!((t - payments::TWITTER_REVENUE).abs() < 1.0);
+        let y = payments::YOUTUBE_REVENUE_BTC
+            + payments::YOUTUBE_REVENUE_ETH
+            + payments::YOUTUBE_REVENUE_XRP;
+        assert!((y - payments::YOUTUBE_REVENUE).abs() < 1.0);
+        // Recipient split.
+        assert_eq!(
+            payments::TWITTER_RECIPIENTS + payments::YOUTUBE_RECIPIENTS,
+            scammers::DISTINCT_RECIPIENTS
+        );
+    }
+
+    #[test]
+    fn conversion_rates_match_reported_ratios() {
+        // 528 senders / 457,248 tweets ≈ 0.12%.
+        let t = payments::TWITTER_SENDERS as f64 / datasets::TWITTER_ARTIFACTS as f64;
+        assert!((t - payments::TWITTER_CONVERSION).abs() < 0.0002, "{t}");
+    }
+
+    #[test]
+    fn exchange_origin_rate_matches_count() {
+        let total = payments::TWITTER_PAYMENTS + payments::YOUTUBE_PAYMENTS;
+        let rate = payments::EXCHANGE_ORIGIN_COUNT as f64 / total as f64;
+        assert!((rate - payments::EXCHANGE_ORIGIN_RATE).abs() < 0.01);
+    }
+}

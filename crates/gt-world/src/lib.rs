@@ -1,0 +1,33 @@
+//! Ground-truth world generation.
+//!
+//! The paper measured a world that no longer exists: Twitter in early
+//! 2022, YouTube livestreams in late 2023, and the payments those lures
+//! drove on three blockchains. This crate regenerates that world
+//! synthetically — scam operations, their domains and landing pages,
+//! the lure campaigns on each platform, the victims and their payments,
+//! and the scammers' cash-out flows — calibrated against every number
+//! the paper reports (see [`calibration`]).
+//!
+//! The generated [`World`] holds the same observable surfaces the
+//! paper's pipeline consumed: a Twitter snapshot, YouTube/Twitch
+//! platforms, a web host serving the landing pages (with cloaking), the
+//! three chain ledgers, a category-tag service, and the price oracle.
+//! Ground truth (which domains/addresses/payments are actually scams) is
+//! kept separately in [`truth::GroundTruth`] so measurements can be
+//! scored against it.
+
+pub mod calibration;
+pub mod cashout;
+pub mod config;
+pub mod services;
+pub mod sites;
+pub mod truth;
+pub mod twitch_gen;
+pub mod twitter_gen;
+pub mod victims;
+pub mod world;
+pub mod youtube_gen;
+
+pub use config::WorldConfig;
+pub use truth::GroundTruth;
+pub use world::World;

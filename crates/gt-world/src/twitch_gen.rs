@@ -1,0 +1,125 @@
+//! Twitch-side generation (Appendix B.1): thousands of live streams,
+//! none of them giveaway scams — the null result the pilot study found.
+
+use crate::config::WorldConfig;
+use gt_sim::{RngFactory, SimDuration};
+use gt_social::{ChatMessage, StreamVideo, Twitch, TwitchStream, TwitchStreamId, ViewerCurve};
+use rand::Rng;
+
+const GAME_CATEGORIES: &[&str] = &[
+    "Fortnite",
+    "League of Legends",
+    "Minecraft",
+    "Grand Theft Auto V",
+    "Valorant",
+    "Counter-Strike",
+];
+const NON_GAME_CATEGORIES: &[&str] = &["Just Chatting", "Music", "Sports", "Crypto", "Talk Shows"];
+
+/// Generate the Twitch population for the pilot window.
+pub fn generate(config: &WorldConfig, factory: &RngFactory, twitch: &mut Twitch) -> Vec<TwitchStreamId> {
+    let mut rng = factory.rng("twitch");
+    let window = (config.pilot_end - config.pilot_start).as_seconds();
+    let mut ids = Vec::with_capacity(config.twitch_streams);
+    for i in 0..config.twitch_streams {
+        let start = config.pilot_start + SimDuration::seconds(rng.gen_range(0..window.max(1)));
+        let duration = SimDuration::seconds(rng.gen_range(1_800..21_600));
+        let is_gaming = rng.gen_bool(0.7);
+        let category = if is_gaming {
+            GAME_CATEGORIES[rng.gen_range(0..GAME_CATEGORIES.len())]
+        } else {
+            NON_GAME_CATEGORIES[rng.gen_range(0..NON_GAME_CATEGORIES.len())]
+        };
+        // Some streams (both kinds) carry crypto keywords in title/tags
+        // — they become filter candidates but are never scams.
+        let cryptoish = rng.gen_bool(if is_gaming { 0.02 } else { 0.35 });
+        let (title, tags) = if cryptoish {
+            (
+                [
+                    "bitcoin talk while we queue",
+                    "crypto market reactions live",
+                    "eth merge anniversary chat",
+                    "xrp news and chill",
+                ][rng.gen_range(0..4)]
+                    .to_string(),
+                vec!["crypto".to_string(), "bitcoin".to_string()],
+            )
+        } else if is_gaming {
+            (
+                format!("{category} ranked grind day {i}"),
+                vec!["gaming".to_string()],
+            )
+        } else {
+            ("morning hangout".to_string(), vec!["chatting".to_string()])
+        };
+
+        let mut chat = Vec::new();
+        for _ in 0..rng.gen_range(5..40) {
+            chat.push(ChatMessage {
+                time: start + SimDuration::seconds(rng.gen_range(0..duration.as_seconds())),
+                author: format!("chatter{}", rng.gen_range(0..100_000)),
+                text: ["pog", "gg", "nice", "what rank?", "hi from brazil"][rng.gen_range(0..5)]
+                    .to_string(),
+            });
+        }
+        chat.sort_by_key(|m| m.time);
+
+        ids.push(twitch.add_stream(TwitchStream {
+            id: TwitchStreamId(0),
+            channel_name: format!("streamer_{i}"),
+            title,
+            tags,
+            category: category.to_string(),
+            start,
+            end: start + duration,
+            video: StreamVideo::Benign,
+            viewers: ViewerCurve {
+                peak_concurrent: rng.gen_range(5..5_000),
+                total_views: rng.gen_range(100..50_000),
+            },
+            chat,
+        }));
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_population_without_scams() {
+        let config = WorldConfig::test_small();
+        let factory = RngFactory::new(4);
+        let mut twitch = Twitch::new();
+        let ids = generate(&config, &factory, &mut twitch);
+        assert_eq!(ids.len(), config.twitch_streams);
+        for &id in &ids {
+            assert!(matches!(twitch.stream(id).video, StreamVideo::Benign));
+        }
+    }
+
+    #[test]
+    fn mix_of_gaming_and_crypto_candidates() {
+        let mut config = WorldConfig::test_small();
+        config.twitch_streams = 500;
+        let factory = RngFactory::new(4);
+        let mut twitch = Twitch::new();
+        let ids = generate(&config, &factory, &mut twitch);
+        let gaming = ids
+            .iter()
+            .filter(|&&id| GAME_CATEGORIES.contains(&twitch.stream(id).category.as_str()))
+            .count();
+        assert!(gaming > 250 && gaming < 450, "gaming count {gaming}");
+        let cryptoish = ids
+            .iter()
+            .filter(|&&id| {
+                let s = twitch.stream(id);
+                s.title.contains("crypto")
+                    || s.title.contains("bitcoin")
+                    || s.tags.iter().any(|t| t == "crypto")
+            })
+            .count();
+        assert!(cryptoish > 10, "need candidate streams: {cryptoish}");
+    }
+}

@@ -1,0 +1,344 @@
+//! World orchestration: build every surface in dependency order.
+
+use crate::cashout::{self, CashoutSummary};
+use crate::config::WorldConfig;
+use crate::services::ServiceDirectory;
+use crate::sites::{DomainFactory, ScamDomainDb};
+use crate::truth::GroundTruth;
+use crate::twitch_gen;
+use crate::twitter_gen;
+use crate::victims::{self, LureSchedule, PaymentTargets};
+use crate::youtube_gen;
+use gt_addr::Address;
+use gt_chain::ChainView;
+use gt_cluster::TagService;
+use gt_price::PriceOracle;
+use gt_sim::{RngFactory, SimDuration, SimTime};
+use gt_social::{Twitch, TwitterSnapshot, YouTube};
+use gt_web::host::BenignSiteSpec;
+use gt_web::WebHost;
+
+/// The complete generated world: every observable surface the paper's
+/// pipeline consumed, plus ground truth for scoring.
+pub struct World {
+    pub config: WorldConfig,
+    pub twitter: TwitterSnapshot,
+    pub youtube: YouTube,
+    pub twitch: Twitch,
+    pub web: WebHost,
+    pub chains: ChainView,
+    pub tags: TagService,
+    pub prices: PriceOracle,
+    pub services: ServiceDirectory,
+    /// The CryptoScamTracker-style corpus handed to the Twitter side.
+    pub scam_db: ScamDomainDb,
+    pub truth: GroundTruth,
+    /// Cash-out statistics per platform.
+    pub twitter_cashout: CashoutSummary,
+    pub youtube_cashout: CashoutSummary,
+}
+
+impl World {
+    /// Generate a world. Deterministic in `config.seed`.
+    pub fn generate(config: WorldConfig) -> World {
+        let factory = RngFactory::new(config.seed);
+        let prices = PriceOracle::new(&factory);
+        let mut chains = ChainView::new();
+        let mut tags = TagService::new();
+        let genesis = SimTime::from_ymd(2020, 1, 1);
+        let services = ServiceDirectory::generate(&factory, &mut chains, &mut tags, genesis);
+        let mut domain_factory = DomainFactory::new();
+
+        // ---- Twitter side ----
+        let mut twitter = TwitterSnapshot::new();
+        let tw = twitter_gen::generate(&config, &factory, &mut domain_factory, &mut twitter);
+
+        // ---- YouTube + Twitch side ----
+        let mut youtube = YouTube::new();
+        let yt = youtube_gen::generate(&config, &factory, &mut domain_factory, &mut youtube);
+        let mut twitch = Twitch::new();
+        let twitch_streams = twitch_gen::generate(&config, &factory, &mut twitch);
+
+        // ---- web hosting ----
+        let mut web = WebHost::new();
+        for d in tw.domains.iter().chain(&yt.domains).chain(&yt.pilot_domains) {
+            web.add_scam_site(d.site_spec());
+        }
+        // The benign tracker site linked from benign stream chats.
+        web.add_benign_site(BenignSiteSpec {
+            domain: "chart-tools.example-tracker.com".into(),
+            html: "<html><body><h1>Portfolio charts</h1><p>Track your holdings.</p></body></html>"
+                .into(),
+        });
+
+        // ---- payments: Twitter first (2022), then YouTube (2023) ----
+        let scam_addresses: Vec<Address> = tw
+            .domains
+            .iter()
+            .chain(&yt.domains)
+            .chain(&yt.pilot_domains)
+            .flat_map(|d| d.tracked_addresses().collect::<Vec<_>>())
+            .collect();
+        let other_scam_pool: Vec<Address> = services
+            .other_scams
+            .iter()
+            .flat_map(|s| {
+                s.btc
+                    .iter()
+                    .map(|&a| Address::Btc(a))
+                    .chain(s.eth.iter().map(|&a| Address::Eth(a)))
+                    .chain(s.xrp.iter().map(|&a| Address::Xrp(a)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        // Consolidation senders come from the tagged scam services: the
+        // known-scam-sender filter must be able to recognise them even
+        // when a landing page was never crawled (so its addresses never
+        // entered the identified set).
+        let consolidation_pool: Vec<Address> = other_scam_pool.clone();
+
+        let twitter_outcome = victims::generate(
+            &PaymentTargets::twitter(&config),
+            &config,
+            &factory,
+            &tw.domains,
+            &LureSchedule::Tweets(&tw.lure_times),
+            &mut chains,
+            &mut tags,
+            &prices,
+            &consolidation_pool,
+            0,
+        );
+
+        // Twitter cash-out, after the last Twitter-side movement.
+        let twitter_addresses: Vec<Address> = tw
+            .domains
+            .iter()
+            .flat_map(|d| d.tracked_addresses().collect::<Vec<_>>())
+            .collect();
+        let twitter_cashout_start = twitter_outcome
+            .payments
+            .iter()
+            .map(|p| p.time)
+            .max()
+            .unwrap_or(config.twitter_end)
+            + SimDuration::days(3);
+        let twitter_cashout = cashout::run(
+            &factory,
+            "twitter",
+            &mut chains,
+            &services,
+            &twitter_addresses,
+            twitter_cashout_start,
+        );
+
+        let youtube_outcome = victims::generate(
+            &PaymentTargets::youtube(&config),
+            &config,
+            &factory,
+            &yt.domains,
+            &LureSchedule::Streams(&yt.lure_spans),
+            &mut chains,
+            &mut tags,
+            &prices,
+            &consolidation_pool,
+            10_000_000,
+        );
+
+        let youtube_addresses: Vec<Address> = yt
+            .domains
+            .iter()
+            .chain(&yt.pilot_domains)
+            .flat_map(|d| d.tracked_addresses().collect::<Vec<_>>())
+            .collect();
+        let youtube_cashout_start = youtube_outcome
+            .payments
+            .iter()
+            .map(|p| p.time)
+            .max()
+            .unwrap_or(config.youtube_end)
+            + SimDuration::days(3);
+        let youtube_cashout = cashout::run(
+            &factory,
+            "youtube",
+            &mut chains,
+            &services,
+            &youtube_addresses,
+            youtube_cashout_start,
+        );
+
+        // ---- assemble ground truth ----
+        let mut truth = GroundTruth {
+            twitter_domains: tw.domains,
+            youtube_domains: yt.domains,
+            pilot_domains: yt.pilot_domains,
+            scam_addresses: scam_addresses.iter().copied().collect(),
+            scam_tweets: tw.scam_tweets,
+            scam_streams: yt.scam_streams,
+            pilot_streams: yt.pilot_streams,
+            twitch_streams,
+            payments: Vec::new(),
+            consolidations: Vec::new(),
+            total_scam_views: yt.total_scam_views,
+        };
+        truth.payments.extend(twitter_outcome.payments);
+        truth.payments.extend(youtube_outcome.payments);
+        truth.consolidations.extend(twitter_outcome.consolidations);
+        truth.consolidations.extend(youtube_outcome.consolidations);
+
+        World {
+            config,
+            twitter,
+            youtube,
+            twitch,
+            web,
+            chains,
+            tags,
+            prices,
+            services,
+            scam_db: tw.scam_db,
+            truth,
+            twitter_cashout,
+            youtube_cashout,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::Platform;
+
+    fn world() -> World {
+        World::generate(WorldConfig::test_small())
+    }
+
+    #[test]
+    fn generates_complete_world() {
+        let w = world();
+        let c = &w.config;
+        assert!(w.twitter.len() >= c.scam_tweets);
+        assert_eq!(w.truth.scam_streams.len(), c.scam_streams);
+        assert!(w.web.site_count() > c.twitter_domains);
+        assert!(!w.truth.scam_addresses.is_empty());
+        assert!(w.chains.total_tx_count() > 0);
+    }
+
+    #[test]
+    fn payments_match_targets() {
+        let w = world();
+        let c = &w.config;
+        let tw_co: Vec<_> = w
+            .truth
+            .payments_for(Platform::Twitter)
+            .filter(|p| p.co_occurring)
+            .collect();
+        // Allow slight shortfall from fallback skips.
+        assert!(
+            (tw_co.len() as i64 - c.twitter_payments as i64).abs() <= 2,
+            "twitter co-occurring: {} vs {}",
+            tw_co.len(),
+            c.twitter_payments
+        );
+        let yt_co = w
+            .truth
+            .payments_for(Platform::YouTube)
+            .filter(|p| p.co_occurring)
+            .count();
+        assert!((yt_co as i64 - c.youtube_payments as i64).abs() <= 2);
+    }
+
+    #[test]
+    fn revenue_lands_near_targets() {
+        let w = world();
+        let c = &w.config;
+        let target: f64 = c.twitter_revenue_usd.iter().sum();
+        let measured = w.truth.revenue_usd(Platform::Twitter);
+        assert!(
+            (measured / target - 1.0).abs() < 0.05,
+            "twitter revenue {measured} vs {target}"
+        );
+        let target_y: f64 = c.youtube_revenue_usd.iter().sum();
+        let measured_y = w.truth.revenue_usd(Platform::YouTube);
+        assert!(
+            (measured_y / target_y - 1.0).abs() < 0.05,
+            "youtube revenue {measured_y} vs {target_y}"
+        );
+    }
+
+    #[test]
+    fn payments_are_observable_on_chain() {
+        let w = world();
+        for p in w.truth.payments.iter().take(50) {
+            let incoming = w.chains.incoming(p.recipient);
+            assert!(
+                incoming.iter().any(|t| t.tx == p.tx),
+                "payment {:?} not found on chain",
+                p.tx
+            );
+        }
+    }
+
+    #[test]
+    fn consolidations_come_from_known_scam_addresses() {
+        let w = world();
+        for c in &w.truth.consolidations {
+            let incoming = w.chains.incoming(c.recipient);
+            let transfer = incoming
+                .iter()
+                .find(|t| t.tx == c.tx)
+                .expect("consolidation on chain");
+            let sender_known = transfer.senders.iter().any(|s| {
+                w.truth.scam_addresses.contains(s)
+                    || w.tags.category_direct(*s) == Some(gt_cluster::Category::Scam)
+            });
+            assert!(sender_known, "consolidation sender must be a known scam address");
+        }
+    }
+
+    #[test]
+    fn exchange_origin_rate_close() {
+        let w = world();
+        let co: Vec<_> = w.truth.payments.iter().filter(|p| p.co_occurring).collect();
+        let ex = co.iter().filter(|p| p.from_exchange).count();
+        let rate = ex as f64 / co.len() as f64;
+        // test_small has only a couple dozen co-occurring payments, so
+        // the binomial noise band is wide.
+        assert!((rate - 0.58).abs() < 0.25, "exchange rate {rate}");
+    }
+
+    #[test]
+    fn victims_repeat_but_unique_count_matches() {
+        let w = world();
+        let c = &w.config;
+        let tw_victims = w.truth.victim_count(Platform::Twitter);
+        assert!(
+            (tw_victims as i64 - c.twitter_victims as i64).abs() <= 3,
+            "{tw_victims} vs {}",
+            c.twitter_victims
+        );
+    }
+
+    #[test]
+    fn cashout_happened() {
+        let w = world();
+        assert!(w.twitter_cashout.recipients > 0);
+        assert!(w.youtube_cashout.recipients > 0);
+        // Mostly unlabeled destinations.
+        let labeled: usize = w.youtube_cashout.by_category.values().sum();
+        assert!(labeled < w.youtube_cashout.recipients / 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = world();
+        let b = world();
+        assert_eq!(a.truth.payments.len(), b.truth.payments.len());
+        assert_eq!(
+            a.truth.payments.first().map(|p| p.tx),
+            b.truth.payments.first().map(|p| p.tx)
+        );
+        assert_eq!(a.chains.total_tx_count(), b.chains.total_tx_count());
+    }
+}

@@ -1,0 +1,637 @@
+//! YouTube-side generation: channels, scam and benign livestreams, the
+//! pilot study, and the Figure 4 weekly profile.
+
+use crate::config::WorldConfig;
+use crate::sites::{random_cloaking, DisplayAddress, DomainFactory, ScamDomain, PERSONAE};
+use gt_addr::{AddressGenerator, Coin};
+use gt_sim::dist::{sample_weighted, LogNormal, Zipf};
+use gt_sim::{RngFactory, SimDuration, SimTime};
+use gt_social::{
+    ChannelId, ChatMessage, LiveStream, LiveStreamId, StreamVideo, ViewerCurve, YouTube,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Normalised weekly stream-count profile for Figure 4 (26 weeks from
+/// 2023-07-24): a burst in September (week 6) and a second surge over
+/// the December–January holidays, peaking at ~14% of all streams in one
+/// week (289 of 2,069 at full scale).
+pub const YOUTUBE_WEEKLY_PROFILE: [f64; 26] = [
+    0.020, 0.024, 0.028, 0.032, 0.040, 0.070, 0.140, 0.075, 0.045, 0.035, 0.030, 0.026, 0.024,
+    0.022, 0.022, 0.024, 0.026, 0.030, 0.036, 0.046, 0.060, 0.075, 0.035, 0.015, 0.012, 0.008,
+];
+
+/// Coin-combination distribution for scam streams. Marginals reproduce
+/// Section 4.3: BTC 65%, ETH 49%, XRP 40%.
+const COIN_COMBOS: [(&[Coin], f64); 8] = [
+    (&[Coin::Btc], 0.25),
+    (&[Coin::Eth], 0.10),
+    (&[Coin::Xrp], 0.09),
+    (&[Coin::Btc, Coin::Eth], 0.20),
+    (&[Coin::Btc, Coin::Xrp], 0.12),
+    (&[Coin::Eth, Coin::Xrp], 0.11),
+    (&[Coin::Btc, Coin::Eth, Coin::Xrp], 0.08),
+    (&[], 0.05),
+];
+
+/// Everything the YouTube generator produces.
+pub struct YouTubeWorld {
+    /// Scam domains promoted in the main window.
+    pub domains: Vec<ScamDomain>,
+    /// Scam domains promoted during the pilot.
+    pub pilot_domains: Vec<ScamDomain>,
+    /// Scam stream ids in the main window.
+    pub scam_streams: Vec<LiveStreamId>,
+    /// Scam stream ids in the pilot window.
+    pub pilot_streams: Vec<LiveStreamId>,
+    /// (start, end) of every stream promoting each main-window domain,
+    /// index-aligned with `domains`. Drives co-occurrence windows.
+    pub lure_spans: Vec<Vec<(SimTime, SimTime)>>,
+    /// Total views across main-window scam streams.
+    pub total_scam_views: u64,
+}
+
+/// Stream durations: log-normal with the pilot study's QR-persistence
+/// statistics (median 3,140 s, mean 7,200 s ⇒ σ ≈ 1.29), clamped to
+/// [35 min, 12 h] — the floor keeps streams alive across at least one
+/// 30-minute search poll, which is also why the paper's dataset
+/// contains no shorter streams.
+fn sample_duration(rng: &mut StdRng) -> SimDuration {
+    // Parameters are inflated above the pilot's *observed* persistence
+    // (median 3,140 s, mean 7,200 s) because the monitor only starts
+    // measuring after its first search poll finds the stream (~20 min
+    // average latency): raw ≈ observed + latency.
+    let d = LogNormal::new(4_490f64.ln(), 1.135);
+    let secs = d.sample(rng).clamp(2_100.0, 43_200.0);
+    SimDuration::seconds(secs as i64)
+}
+
+/// Channel subscriber counts: log-normal with median 16.8K.
+fn sample_subscribers(rng: &mut StdRng) -> u64 {
+    let d = LogNormal::new(16_800f64.ln(), 1.6);
+    d.sample(rng).clamp(10.0, 5_000_000.0) as u64
+}
+
+/// Generate the scam domains promoted via streams. YouTube scammers
+/// cycle addresses: every domain gets fresh addresses (no op pooling).
+fn generate_domains(
+    n: usize,
+    window_start: SimTime,
+    rng: &mut StdRng,
+    gen: &mut AddressGenerator<StdRng>,
+    domain_factory: &mut DomainFactory,
+) -> Vec<ScamDomain> {
+    (0..n)
+        .map(|i| {
+            let persona = PERSONAE[rng.gen_range(0..PERSONAE.len())].to_string();
+            // Exactly one domain in the paper lacked a tracked address.
+            let mut addresses = Vec::new();
+            if i == 0 && n > 1 {
+                let (label, text) = crate::sites::other_coin_address(rng);
+                addresses.push(DisplayAddress { label, text, parsed: None });
+            } else {
+                let mut coins = vec![Coin::Btc];
+                if rng.gen_bool(0.5) {
+                    coins.push(Coin::Eth);
+                }
+                if rng.gen_bool(0.4) {
+                    coins.push(Coin::Xrp);
+                }
+                if rng.gen_bool(0.25) {
+                    coins.remove(0); // some domains are ETH/XRP-first
+                    if coins.is_empty() {
+                        coins.push(Coin::Eth);
+                    }
+                }
+                for coin in coins {
+                    addresses.push(DisplayAddress::tracked(coin, gen.generate(coin)));
+                }
+            }
+            let online_from = window_start - SimDuration::days(rng.gen_range(1..30));
+            // Most sites stay reachable while their campaign runs; a
+            // minority die mid-window (their later streams then lead to
+            // dead pages, as the daily-crawl retirement rule expects).
+            let offline_from = if rng.gen_bool(0.75) {
+                Some(online_from + SimDuration::days(rng.gen_range(150..400)))
+            } else {
+                None
+            };
+            ScamDomain {
+                domain: domain_factory.mint(rng),
+                op: usize::MAX, // YouTube ops are per-domain
+                persona,
+                addresses,
+                cloaking: random_cloaking(rng),
+                online_from,
+                offline_from,
+            }
+        })
+        .collect()
+}
+
+fn scam_stream_title(persona: &str, coins: &[Coin], rng: &mut StdRng) -> String {
+    let amount = [500, 1_000, 5_000, 10_000, 50_000][rng.gen_range(0..5)];
+    match coins {
+        [] => format!("{persona} LIVE giveaway event — claim your bonus now!"),
+        [c] => format!(
+            "{persona} LIVE: {amount} {} giveaway event — double your crypto!",
+            c.name().to_uppercase()
+        ),
+        [a, b, ..] => format!(
+            "{persona} LIVE: {amount} {} & {} giveaway — double your crypto!",
+            a.name().to_uppercase(),
+            b.name().to_uppercase()
+        ),
+    }
+}
+
+/// Build one scam stream record.
+#[allow(clippy::too_many_arguments)]
+fn make_scam_stream(
+    channel: ChannelId,
+    channel_name: &str,
+    domain: &ScamDomain,
+    start: SimTime,
+    rng: &mut StdRng,
+    views: u64,
+    periodic_qr: bool,
+) -> LiveStream {
+    let _ = channel_name;
+    let duration = sample_duration(rng);
+    let end = start + duration;
+    let combo_weights: Vec<f64> = COIN_COMBOS.iter().map(|&(_, w)| w).collect();
+    let coins = COIN_COMBOS[sample_weighted(rng, &combo_weights)].0;
+    let title = scam_stream_title(&domain.persona, coins, rng);
+    let url = format!("https://{}", domain.domain);
+
+    // Lead channels: QR in video (85%), URL in chat (60%); at least one.
+    let mut qr = rng.gen_bool(0.85);
+    let mut chat_link = rng.gen_bool(0.60);
+    if !qr && !chat_link {
+        if rng.gen_bool(0.5) {
+            qr = true;
+        } else {
+            chat_link = true;
+        }
+    }
+
+    let video = if qr {
+        StreamVideo::ScamLoop {
+            qr_url: url.clone(),
+            qr_duty_cycle: periodic_qr.then_some((15, 285)),
+            qr_scale: 2,
+        }
+    } else {
+        StreamVideo::Benign
+    };
+
+    // Scam streams have few chat messages and no user interaction.
+    let mut chat = Vec::new();
+    let n_msgs = rng.gen_range(0..10u32);
+    for m in 0..n_msgs {
+        let offset = SimDuration::seconds(
+            (duration.as_seconds() * i64::from(m + 1)) / i64::from(n_msgs + 1),
+        );
+        let text = if chat_link && (m == 0 || rng.gen_bool(0.4)) {
+            format!("participate now: {url}")
+        } else {
+            "the giveaway is live, don't miss out!".to_string()
+        };
+        chat.push(ChatMessage {
+            time: start + offset,
+            author: "event-mod".into(),
+            text,
+        });
+    }
+    if chat_link && chat.is_empty() {
+        chat.push(ChatMessage {
+            time: start + SimDuration::seconds(30),
+            author: "event-mod".into(),
+            text: format!("participate now: {url}"),
+        });
+    }
+
+    let description = if rng.gen_bool(0.93) {
+        let coin_words: Vec<&str> = coins.iter().map(|c| c.name()).collect();
+        format!(
+            "Official {} giveaway. {} Send and receive double back!",
+            coin_words.join(" and "),
+            title
+        )
+    } else {
+        "The biggest event of the year — watch till the end.".to_string()
+    };
+
+    LiveStream {
+        id: LiveStreamId(0),
+        channel,
+        title,
+        description,
+        language: "en".into(),
+        fuzzy_topics: vec!["crypto giveaway".into()],
+        start,
+        end,
+        video,
+        viewers: ViewerCurve {
+            peak_concurrent: (views / 20).max(1),
+            total_views: views,
+        },
+        chat,
+    }
+}
+
+/// Build one benign stream record.
+fn make_benign_stream(
+    channel: ChannelId,
+    start: SimTime,
+    rng: &mut StdRng,
+    textual_keyword: bool,
+    english: bool,
+) -> LiveStream {
+    let duration = SimDuration::seconds(rng.gen_range(1_800..14_400));
+    let (title, description, language) = if textual_keyword {
+        (
+            [
+                "bitcoin price analysis — where next?",
+                "ethereum gas watch live",
+                "crypto market open: btc eth xrp levels",
+                "dogecoin community hangout",
+                "tether depeg watch and usdc news",
+                "solana ecosystem roundup",
+                "cardano stake pool q&a with charles fans",
+                "bnb and binance listings chat",
+                "litecoin halving countdown",
+                "polkadot and polygon layer talk",
+                "shiba inu burn tracker live",
+                "avalanche subnet demo day",
+                "toncoin airdrop rumor check",
+                "tron network stats live",
+                "algorand dev office hours",
+            ][rng.gen_range(0..15)]
+                .to_string(),
+            "daily technical analysis, not financial advice".to_string(),
+            "en".to_string(),
+        )
+    } else if english {
+        (
+            [
+                "day trading futures live",
+                "markets and coffee",
+                "street cam: downtown live",
+                "lofi beats to chart to",
+            ][rng.gen_range(0..4)]
+                .to_string(),
+            "chill stream".to_string(),
+            "en".to_string(),
+        )
+    } else {
+        (
+            [
+                "análisis del mercado en vivo",
+                "ao vivo: mercado de moedas",
+                "실시간 시장 분석",
+                "прямой эфир: обзор рынка",
+            ][rng.gen_range(0..4)]
+                .to_string(),
+            "transmisión en vivo".to_string(),
+            ["es", "pt", "ko", "ru"][rng.gen_range(0..4)].to_string(),
+        )
+    };
+
+    // Busy chat with user interaction; occasionally a benign URL (a
+    // false lead the crawler must reject at validation).
+    let mut chat = Vec::new();
+    for m in 0..rng.gen_range(10..60u32) {
+        let offset = SimDuration::seconds(rng.gen_range(0..duration.as_seconds().max(2)));
+        let _ = m;
+        let text = if rng.gen_bool(0.05) {
+            "check my portfolio tracker https://chart-tools.example-tracker.com".to_string()
+        } else {
+            ["nice move", "what about eth?", "lol", "to the moon", "thanks for the stream"]
+                [rng.gen_range(0..5)]
+            .to_string()
+        };
+        chat.push(ChatMessage {
+            time: start + offset,
+            author: format!("viewer{}", rng.gen_range(0..10_000)),
+            text,
+        });
+    }
+    chat.sort_by_key(|m| m.time);
+
+    LiveStream {
+        id: LiveStreamId(0),
+        channel,
+        title,
+        description,
+        language,
+        fuzzy_topics: vec!["cryptocurrency".into()],
+        start,
+        end: start + duration,
+        video: StreamVideo::Benign,
+        viewers: ViewerCurve {
+            peak_concurrent: rng.gen_range(5..2_000),
+            total_views: rng.gen_range(50..20_000),
+        },
+        chat,
+    }
+}
+
+/// Run the full YouTube-side generation.
+pub fn generate(
+    config: &WorldConfig,
+    factory: &RngFactory,
+    domain_factory: &mut DomainFactory,
+    youtube: &mut YouTube,
+) -> YouTubeWorld {
+    let mut rng = factory.rng("youtube");
+    let mut gen = AddressGenerator::new(factory.rng("youtube-addresses"));
+
+    // ---- channels ----
+    let mut channels = Vec::with_capacity(config.stream_channels);
+    for i in 0..config.stream_channels {
+        let subs = if i == 0 {
+            19_000_000 // the compromised mega-channel
+        } else {
+            sample_subscribers(&mut rng)
+        };
+        let name = if rng.gen_bool(0.5) {
+            format!("Crypto Daily {i}")
+        } else {
+            format!("Stream Hub {i}")
+        };
+        channels.push(youtube.add_channel(name, subs));
+    }
+    // Benign channels are separate.
+    let benign_channels: Vec<ChannelId> = (0..(config.benign_streams / 4).max(1))
+        .map(|i| youtube.add_channel(format!("Creator {i}"), sample_subscribers(&mut rng)))
+        .collect();
+
+    // ---- scam domains ----
+    let domains = generate_domains(
+        config.youtube_domains,
+        config.youtube_start,
+        &mut rng,
+        &mut gen,
+        domain_factory,
+    );
+    let pilot_domains = generate_domains(
+        config.pilot_sites,
+        config.pilot_start,
+        &mut rng,
+        &mut gen,
+        domain_factory,
+    );
+
+    // ---- per-stream view counts, rescaled to the configured total ----
+    let view_dist = LogNormal::new(1_500f64.ln(), 1.8);
+    let mut views: Vec<f64> = (0..config.scam_streams)
+        .map(|_| view_dist.sample(&mut rng))
+        .collect();
+    let raw_total: f64 = views.iter().sum();
+    let scale = config.total_scam_views as f64 / raw_total.max(1.0);
+    for v in &mut views {
+        *v *= scale;
+    }
+
+    // ---- main-window scam streams over the weekly profile ----
+    let mut per_week: Vec<usize> = YOUTUBE_WEEKLY_PROFILE
+        .iter()
+        .map(|w| (w * config.scam_streams as f64).round() as usize)
+        .collect();
+    let drift = config.scam_streams as isize - per_week.iter().sum::<usize>() as isize;
+    per_week[6] = (per_week[6] as isize + drift).max(0) as usize;
+
+    // Viewership correlates with campaign bursts: streams in heavy
+    // weeks draw disproportionately more viewers (Figure 4's view peak
+    // is sharper than its stream-count peak). Normalise so the global
+    // view total stays on target.
+    let mean_weight = 1.0 / YOUTUBE_WEEKLY_PROFILE.len() as f64;
+    let raw_mult: Vec<f64> = YOUTUBE_WEEKLY_PROFILE
+        .iter()
+        .map(|w| (w / mean_weight).powf(0.33))
+        .collect();
+    let expected_factor: f64 = YOUTUBE_WEEKLY_PROFILE
+        .iter()
+        .zip(&raw_mult)
+        .map(|(w, m)| w * m)
+        .sum();
+    let week_mult: Vec<f64> = raw_mult.iter().map(|m| m / expected_factor).collect();
+
+    let domain_zipf = Zipf::new(domains.len(), 0.55);
+    let channel_zipf = Zipf::new(channels.len(), 0.4);
+    let mut scam_streams = Vec::new();
+    let mut lure_spans: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); domains.len()];
+    let mut total_views = 0u64;
+    let mut stream_no = 0usize;
+    for (week, &count) in per_week.iter().enumerate() {
+        let week_start = config.youtube_start + SimDuration::weeks(week as i64);
+        for _ in 0..count {
+            let start = week_start + SimDuration::seconds(rng.gen_range(0..7 * 86_400));
+            let domain_idx = domain_zipf.sample(&mut rng) - 1;
+            // Streams slightly outnumber channels (paper: 2,069 over
+            // 1,632): every channel hosts one stream before any channel
+            // is reused (compromised channels are burned quickly).
+            let channel = if stream_no < channels.len() {
+                channels[stream_no]
+            } else {
+                channels[channel_zipf.sample(&mut rng) - 1]
+            };
+            let v = (views.get(stream_no).copied().unwrap_or(500.0) * week_mult[week]) as u64;
+            let stream = make_scam_stream(
+                channel,
+                "",
+                &domains[domain_idx],
+                start,
+                &mut rng,
+                v.max(1),
+                false,
+            );
+            let span = (stream.start, stream.end);
+            let id = youtube.add_stream(stream);
+            scam_streams.push(id);
+            lure_spans[domain_idx].push(span);
+            total_views += v.max(1);
+            stream_no += 1;
+        }
+    }
+    for spans in &mut lure_spans {
+        spans.sort();
+    }
+
+    // ---- pilot scam streams (one with the periodic QR outlier) ----
+    let mut pilot_streams = Vec::new();
+    let pilot_days = (config.pilot_end - config.pilot_start).as_days().max(1);
+    for i in 0..config.pilot_streams {
+        let start = config.pilot_start
+            + SimDuration::seconds(rng.gen_range(0..pilot_days * 86_400));
+        let domain = &pilot_domains[i % pilot_domains.len()];
+        let channel = channels[channel_zipf.sample(&mut rng) - 1];
+        let pilot_views = rng.gen_range(100..20_000);
+        let stream = make_scam_stream(
+            channel,
+            "",
+            domain,
+            start,
+            &mut rng,
+            pilot_views,
+            i == 0, // the single periodic-QR case
+        );
+        pilot_streams.push(youtube.add_stream(stream));
+    }
+
+    // ---- benign streams across both windows ----
+    // Calibrated so that ~55% of *returned* streams contain a search
+    // keyword verbatim (scam streams nearly always do).
+    let window_secs = (config.youtube_end - config.pilot_start).as_seconds();
+    for i in 0..config.benign_streams {
+        let start = config.pilot_start + SimDuration::seconds(rng.gen_range(0..window_secs));
+        let textual = rng.gen_bool(0.33);
+        let english = textual || rng.gen_bool(0.5);
+        let channel = benign_channels[i % benign_channels.len()];
+        youtube.add_stream(make_benign_stream(channel, start, &mut rng, textual, english));
+    }
+
+    YouTubeWorld {
+        domains,
+        pilot_domains,
+        scam_streams,
+        pilot_streams,
+        lure_spans,
+        total_scam_views: total_views,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (WorldConfig, YouTubeWorld, YouTube) {
+        let config = WorldConfig::test_small();
+        let factory = RngFactory::new(config.seed);
+        let mut youtube = YouTube::new();
+        let mut df = DomainFactory::new();
+        let world = generate(&config, &factory, &mut df, &mut youtube);
+        (config, world, youtube)
+    }
+
+    #[test]
+    fn profile_is_normalised_with_peak() {
+        let sum: f64 = YOUTUBE_WEEKLY_PROFILE.iter().sum();
+        assert!((sum - 1.0).abs() < 0.01, "sums to {sum}");
+        let peak = YOUTUBE_WEEKLY_PROFILE.iter().cloned().fold(0.0f64, f64::max);
+        assert_eq!(YOUTUBE_WEEKLY_PROFILE[6], peak, "peak in September");
+        assert!((peak - 289.0 / 2_069.0).abs() < 0.01);
+        // A holiday surge exists late in the window.
+        assert!(YOUTUBE_WEEKLY_PROFILE[21] > YOUTUBE_WEEKLY_PROFILE[17]);
+    }
+
+    #[test]
+    fn generates_configured_counts() {
+        let (config, world, youtube) = small();
+        assert_eq!(world.scam_streams.len(), config.scam_streams);
+        assert_eq!(world.pilot_streams.len(), config.pilot_streams);
+        assert_eq!(world.domains.len(), config.youtube_domains);
+        assert_eq!(
+            youtube.stream_count(),
+            config.scam_streams + config.pilot_streams + config.benign_streams
+        );
+        let spans: usize = world.lure_spans.iter().map(Vec::len).sum();
+        assert_eq!(spans, config.scam_streams);
+    }
+
+    #[test]
+    fn views_rescale_to_target() {
+        let (config, world, _) = small();
+        let drift =
+            (world.total_scam_views as f64 / config.total_scam_views as f64 - 1.0).abs();
+        assert!(drift < 0.05, "views drift {drift}");
+    }
+
+    #[test]
+    fn scam_streams_are_in_window_and_lead_somewhere() {
+        let (config, world, youtube) = small();
+        for &id in &world.scam_streams {
+            let s = youtube.stream(id);
+            assert!(s.start >= config.youtube_start);
+            assert!(s.start < config.youtube_end);
+            let has_qr = matches!(s.video, StreamVideo::ScamLoop { .. });
+            let has_chat_link = s.chat.iter().any(|m| m.text.contains("https://"));
+            assert!(has_qr || has_chat_link, "stream {id:?} has no lead channel");
+            assert!(s.chat.len() < 10, "scam streams have few chat messages");
+        }
+    }
+
+    #[test]
+    fn pilot_contains_the_periodic_qr_outlier() {
+        let (_, world, youtube) = small();
+        let periodic = world
+            .pilot_streams
+            .iter()
+            .filter(|&&id| {
+                matches!(
+                    youtube.stream(id).video,
+                    StreamVideo::ScamLoop { qr_duty_cycle: Some(_), .. }
+                )
+            })
+            .count();
+        assert_eq!(periodic, 1);
+    }
+
+    #[test]
+    fn one_domain_lacks_tracked_addresses() {
+        let config = WorldConfig::scaled(0.2);
+        let factory = RngFactory::new(9);
+        let mut youtube = YouTube::new();
+        let mut df = DomainFactory::new();
+        let world = generate(&config, &factory, &mut df, &mut youtube);
+        let untracked = world
+            .domains
+            .iter()
+            .filter(|d| d.tracked_addresses().count() == 0)
+            .count();
+        assert_eq!(untracked, 1);
+    }
+
+    #[test]
+    fn youtube_domains_do_not_share_addresses() {
+        let (_, world, _) = small();
+        let mut seen = std::collections::HashSet::new();
+        for d in &world.domains {
+            for a in d.tracked_addresses() {
+                assert!(seen.insert(a), "YouTube domains must cycle addresses");
+            }
+        }
+    }
+
+    #[test]
+    fn mega_channel_exists() {
+        let (_, _, youtube) = small();
+        let max = (0..youtube.channel_count() as u64)
+            .map(|i| youtube.channel_details(ChannelId(i)).unwrap().subscribers)
+            .max()
+            .unwrap();
+        assert_eq!(max, 19_000_000);
+    }
+
+    #[test]
+    fn benign_streams_have_busy_chats() {
+        let (config, world, youtube) = small();
+        let scam: std::collections::HashSet<_> = world
+            .scam_streams
+            .iter()
+            .chain(&world.pilot_streams)
+            .collect();
+        let benign: Vec<_> = (0..youtube.stream_count() as u64)
+            .map(LiveStreamId)
+            .filter(|id| !scam.contains(id))
+            .collect();
+        assert_eq!(benign.len(), config.benign_streams);
+        let avg_chat: f64 = benign
+            .iter()
+            .map(|&id| youtube.stream(id).chat.len() as f64)
+            .sum::<f64>()
+            / benign.len() as f64;
+        assert!(avg_chat > 10.0, "benign chats are busy: {avg_chat}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Cloaking vs the hardened crawler: host one scam site per cloaking
+//! behaviour and show which crawler configurations get through —
+//! the ablation behind the paper's Section 3.2 counter-measures.
+//!
+//! ```sh
+//! cargo run --example cloaking_crawler
+//! ```
+
+use givetake::sim::SimTime;
+use givetake::web::crawler::CrawlOutcome;
+use givetake::web::{CloakingProfile, Crawler, CrawlerConfig, ScamSiteSpec, Url, WebHost};
+
+fn site(domain: &str, cloaking: CloakingProfile, t0: SimTime) -> ScamSiteSpec {
+    ScamSiteSpec {
+        domain: domain.into(),
+        landing_html: format!(
+            "<html>Hurry! Send BTC to 1A1zP1eP5QGefi2DMPTfTL5SLmv7DivfNa \
+             to participate in the {domain} giveaway</html>"
+        ),
+        front_html: givetake::world::sites::front_html("Elon Musk"),
+        cloaking,
+        online_from: t0,
+        offline_from: None,
+    }
+}
+
+fn describe(outcome: &CrawlOutcome) -> &'static str {
+    match outcome {
+        CrawlOutcome::Page { .. } => "PAGE ✔",
+        CrawlOutcome::Forbidden => "403",
+        CrawlOutcome::Challenged => "challenge",
+        CrawlOutcome::StuckAtFrontPage => "front page",
+        CrawlOutcome::Error(_) => "error",
+    }
+}
+
+fn main() {
+    let t0 = SimTime::from_ymd(2023, 8, 1);
+    let mut web = WebHost::new();
+    let cases = [
+        ("plain-give.com", CloakingProfile::default()),
+        ("ip-cloaked-give.com", CloakingProfile { ip_cloaking: true, ..Default::default() }),
+        ("ua-cloaked-give.com", CloakingProfile { ua_cloaking: true, ..Default::default() }),
+        ("frontpage-give.com", CloakingProfile { front_page: true, ..Default::default() }),
+        ("cloudflare-give.com", CloakingProfile { cloudflare: true, ..Default::default() }),
+        (
+            "fort-knox-give.com",
+            CloakingProfile { ip_cloaking: true, ua_cloaking: true, front_page: true, cloudflare: true },
+        ),
+    ];
+    for (domain, cloaking) in &cases {
+        web.add_scam_site(site(domain, *cloaking, t0));
+    }
+
+    let crawlers = [
+        ("naive", CrawlerConfig::naive()),
+        ("vpn only", CrawlerConfig { use_vpn: true, ..CrawlerConfig::naive() }),
+        (
+            "vpn + ua",
+            CrawlerConfig { use_vpn: true, spoof_user_agent: true, ..CrawlerConfig::naive() },
+        ),
+        ("hardened", CrawlerConfig::default()),
+    ];
+
+    print!("{:<24}", "site \\ crawler");
+    for (name, _) in &crawlers {
+        print!("{name:>14}");
+    }
+    println!();
+    for (domain, _) in &cases {
+        print!("{domain:<24}");
+        let url = Url::parse(&format!("https://{domain}/")).unwrap();
+        for (_, config) in &crawlers {
+            let crawler = Crawler::new(*config);
+            let outcome = crawler.crawl(&web, &url, t0);
+            print!("{:>14}", describe(&outcome));
+        }
+        println!();
+    }
+
+    println!("\nyield per crawler configuration:");
+    for (name, config) in &crawlers {
+        let crawler = Crawler::new(*config);
+        let reached = cases
+            .iter()
+            .filter(|(domain, _)| {
+                let url = Url::parse(&format!("https://{domain}/")).unwrap();
+                crawler.crawl(&web, &url, t0).html().is_some()
+            })
+            .count();
+        println!("  {name:<10} {reached}/{} sites", cases.len());
+    }
+}

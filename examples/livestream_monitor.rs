@@ -1,0 +1,137 @@
+//! Livestream monitoring demo: watch a hand-built YouTube platform with
+//! one scam stream and one benign stream, and show exactly what the
+//! pipeline extracts — search hits, chat leads, QR decodes, crawled
+//! landing pages, and the validation verdicts.
+//!
+//! ```sh
+//! cargo run --example livestream_monitor
+//! ```
+
+use givetake::core::validate::validate_page;
+use givetake::sim::{SimDuration, SimTime};
+use givetake::social::{ChatMessage, LiveStream, LiveStreamId, StreamVideo, ViewerCurve, YouTube};
+use givetake::stream::keywords::search_keyword_set;
+use givetake::stream::monitor::{Monitor, MonitorConfig, UrlSource};
+use givetake::web::{CloakingProfile, ScamSiteSpec, WebHost};
+
+fn main() {
+    let t0 = SimTime::from_ymd(2023, 9, 5);
+
+    // ---- the platform ----
+    let mut youtube = YouTube::new();
+    let scam_channel = youtube.add_channel("Crypto News 24/7".into(), 84_000);
+    let benign_channel = youtube.add_channel("Market Morning".into(), 12_000);
+
+    youtube.add_stream(LiveStream {
+        id: LiveStreamId(0),
+        channel: scam_channel,
+        title: "Brad Garlinghouse LIVE: 50,000,000 XRP giveaway".into(),
+        description: "scan the QR code or use the link to participate".into(),
+        language: "en".into(),
+        fuzzy_topics: vec![],
+        start: t0 + SimDuration::hours(2),
+        end: t0 + SimDuration::hours(5),
+        video: StreamVideo::ScamLoop {
+            qr_url: "https://xrp-double-event.live/claim".into(),
+            qr_duty_cycle: None,
+            qr_scale: 2,
+        },
+        viewers: ViewerCurve {
+            peak_concurrent: 1_400,
+            total_views: 26_000,
+        },
+        chat: vec![ChatMessage {
+            time: t0 + SimDuration::hours(2) + SimDuration::minutes(4),
+            author: "event-mod".into(),
+            text: "participate here: https://xrp-double-event.live/claim".into(),
+        }],
+    });
+    youtube.add_stream(LiveStream {
+        id: LiveStreamId(0),
+        channel: benign_channel,
+        title: "bitcoin price analysis — where next?".into(),
+        description: "daily TA, not financial advice".into(),
+        language: "en".into(),
+        fuzzy_topics: vec![],
+        start: t0 + SimDuration::hours(1),
+        end: t0 + SimDuration::hours(4),
+        video: StreamVideo::Benign,
+        viewers: ViewerCurve {
+            peak_concurrent: 300,
+            total_views: 2_000,
+        },
+        chat: vec![ChatMessage {
+            time: t0 + SimDuration::hours(1) + SimDuration::minutes(10),
+            author: "viewer42".into(),
+            text: "charts at https://chart-tools.example-tracker.com".into(),
+        }],
+    });
+
+    // ---- the web the leads point at (with cloaking!) ----
+    let mut web = WebHost::new();
+    web.add_scam_site(ScamSiteSpec {
+        domain: "xrp-double-event.live".into(),
+        landing_html: givetake::world::sites::landing_html(
+            "Brad Garlinghouse",
+            &[givetake::world::sites::DisplayAddress::tracked(
+                givetake::addr::Coin::Xrp,
+                givetake::addr::Address::parse("rHb9CJAWyB4rj91VRWn96DkukG4bwdtyTh").unwrap(),
+            )],
+        ),
+        front_html: givetake::world::sites::front_html("Brad Garlinghouse"),
+        cloaking: CloakingProfile {
+            ip_cloaking: true,
+            ua_cloaking: true,
+            front_page: true,
+            cloudflare: true,
+        },
+        online_from: t0,
+        offline_from: None,
+    });
+    web.add_benign_site(givetake::web::host::BenignSiteSpec {
+        domain: "chart-tools.example-tracker.com".into(),
+        html: "<html><h1>Portfolio charts</h1></html>".into(),
+    });
+
+    // ---- run the monitor for one virtual day ----
+    let mut config = MonitorConfig::paper(t0, t0 + SimDuration::days(1));
+    config.outage_days.clear();
+    let keywords = search_keyword_set();
+    let monitor = Monitor::new(config, search_keyword_set());
+    let report = monitor.run(&youtube, &web);
+
+    println!("== observed streams ==");
+    for s in &report.streams {
+        println!(
+            "  [{}] {:?} \"{}\" — {} samples, {} with QR, peak {} concurrent, {} total views",
+            s.channel_name, s.stream, s.title, s.samples, s.qr_samples, s.max_concurrent,
+            s.max_total_views
+        );
+    }
+
+    println!("\n== URL leads ==");
+    for lead in &report.leads {
+        let how = match lead.source {
+            UrlSource::QrCode => "QR code",
+            UrlSource::Chat => "chat",
+        };
+        println!("  {} via {} (stream {:?}, first seen {})", lead.url, how, lead.stream, lead.first_seen);
+    }
+
+    println!("\n== crawled pages & validation ==");
+    for (url, page) in &report.pages {
+        let host = givetake::web::Url::parse(url).unwrap().host;
+        let verdict = validate_page(&host, &page.html, &keywords);
+        println!(
+            "  {url}: {} bytes — addresses={} html_kw={} domain_kw={} → {}",
+            page.html.len(),
+            verdict.addresses.len(),
+            verdict.html_keywords,
+            verdict.domain_keywords,
+            if verdict.is_scam() { "SCAM" } else { "benign" }
+        );
+        for a in &verdict.addresses {
+            println!("      {} address {}", a.coin(), a);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Quickstart: generate a world, run the paper's pipeline, print the
+//! headline results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart            # 10% scale
+//! SCALE=1.0 cargo run --release --example quickstart  # paper scale
+//! ```
+
+use givetake::core::run_paper_pipeline;
+use givetake::world::{World, WorldConfig};
+
+fn main() {
+    let scale: f64 = std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.10);
+    let config = if (scale - 1.0).abs() < f64::EPSILON {
+        WorldConfig::default()
+    } else {
+        WorldConfig::scaled(scale)
+    };
+
+    eprintln!("generating world at scale {scale} (seed {:#x}) ...", config.seed);
+    let world = World::generate(config);
+    eprintln!(
+        "  {} tweets, {} streams, {} chain txs, {} web sites",
+        world.twitter.len(),
+        world.youtube.stream_count(),
+        world.chains.total_tx_count(),
+        world.web.site_count(),
+    );
+
+    eprintln!("running the measurement pipeline ...");
+    let run = run_paper_pipeline(&world);
+    let r = &run.report;
+
+    println!("== Table 1: datasets ==");
+    println!(
+        "  Twitter: {} domains, {} accounts, {} tweets",
+        r.table1.twitter_domains, r.table1.twitter_accounts, r.table1.twitter_artifacts
+    );
+    println!(
+        "  YouTube: {} domains, {} channels, {} streams",
+        r.table1.youtube_domains, r.table1.youtube_accounts, r.table1.youtube_artifacts
+    );
+
+    println!("\n== Table 2: revenue (co-occurring / any, USD) ==");
+    println!(
+        "  Twitter: ${:.0} / ${:.0}  (BTC {:.0}, ETH {:.0}, XRP {:.0})",
+        r.twitter_revenue.usd_co_occurring,
+        r.twitter_revenue.usd_any,
+        r.twitter_revenue.usd_btc,
+        r.twitter_revenue.usd_eth,
+        r.twitter_revenue.usd_xrp
+    );
+    println!(
+        "  YouTube: ${:.0} / ${:.0}  (BTC {:.0}, ETH {:.0}, XRP {:.0})",
+        r.youtube_revenue.usd_co_occurring,
+        r.youtube_revenue.usd_any,
+        r.youtube_revenue.usd_btc,
+        r.youtube_revenue.usd_eth,
+        r.youtube_revenue.usd_xrp
+    );
+
+    println!("\n== Conversion rates (Section 5.4) ==");
+    println!(
+        "  Twitter: {} victims / {} tweets = {:.4}% per tweet",
+        r.twitter_conversions.unique_senders,
+        r.twitter_conversions.denominator,
+        r.twitter_conversions.rate * 100.0
+    );
+    println!(
+        "  YouTube: {} victims / {} views = {:.5}% per view",
+        r.youtube_conversions.unique_senders,
+        r.youtube_conversions.denominator,
+        r.youtube_conversions.rate * 100.0
+    );
+    println!(
+        "  payment origins: {:.0}% from exchanges",
+        r.origins.exchange_rate * 100.0
+    );
+    println!(
+        "  whales: top {} of {} Twitter payments carry 50% of value",
+        r.twitter_whales.top_for_half, r.twitter_whales.payments
+    );
+
+    println!("\n== Figure 3/4 weekly volume ==");
+    println!("  Twitter {}", r.twitter_weekly.sparkline());
+    println!("  YouTube {}", r.youtube_weekly.sparkline());
+
+    println!("\n== Paper vs measured ==");
+    print!("{}", r.render_comparison(scale));
+}

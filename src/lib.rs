@@ -1,0 +1,41 @@
+//! `givetake` — an end-to-end reproduction of *"Give and Take: An
+//! End-To-End Investigation of Giveaway Scam Conversion Rates"*
+//! (Liu et al., IMC 2024).
+//!
+//! The facade crate re-exports the whole workspace:
+//!
+//! * [`world`] — generate a calibrated synthetic world (platforms,
+//!   chains, scam campaigns, victims);
+//! * [`core`] — run the paper's measurement and analysis pipeline over
+//!   it and compare against every published table and figure;
+//! * the substrates ([`qr`], [`addr`], [`chain`], [`cluster`], [`web`],
+//!   [`social`], [`stream`], [`text`], [`hash`], [`price`], [`sim`])
+//!   are reusable on their own.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use givetake::world::{World, WorldConfig};
+//! use givetake::core::run_paper_pipeline;
+//!
+//! // A down-scaled world keeps the doctest fast; use
+//! // `WorldConfig::default()` for the paper-scale run.
+//! let world = World::generate(WorldConfig::test_small());
+//! let run = run_paper_pipeline(&world);
+//! assert!(run.report.table1.twitter_artifacts > 0);
+//! assert!(run.report.twitter_revenue.usd_co_occurring > 0.0);
+//! ```
+
+pub use gt_addr as addr;
+pub use gt_chain as chain;
+pub use gt_cluster as cluster;
+pub use gt_core as core;
+pub use gt_hash as hash;
+pub use gt_price as price;
+pub use gt_qr as qr;
+pub use gt_sim as sim;
+pub use gt_social as social;
+pub use gt_stream as stream;
+pub use gt_text as text;
+pub use gt_web as web;
+pub use gt_world as world;

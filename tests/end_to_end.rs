@@ -1,0 +1,202 @@
+//! End-to-end integration: generate a world, run the full pipeline,
+//! and check that the paper's qualitative findings reproduce.
+
+use givetake::core::run_paper_pipeline;
+use givetake::world::{World, WorldConfig};
+
+/// One shared small-scale run (world generation plus full pipeline) so
+/// the suite stays fast.
+fn shared_run() -> &'static givetake::core::PaperRun {
+    use std::sync::OnceLock;
+    static RUN: OnceLock<givetake::core::PaperRun> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let world = World::generate(WorldConfig::scaled(0.04));
+        run_paper_pipeline(&world)
+    })
+}
+
+#[test]
+fn datasets_are_assembled_on_both_platforms() {
+    let run = shared_run();
+    let t1 = &run.report.table1;
+    assert!(t1.twitter_domains > 0, "Twitter domains found");
+    assert!(t1.twitter_artifacts > 1_000, "scam tweets found");
+    assert!(t1.twitter_accounts > 100, "posting accounts found");
+    assert!(t1.youtube_domains > 0, "YouTube scam domains validated");
+    assert!(t1.youtube_artifacts > 0, "scam streams observed");
+    assert!(
+        t1.youtube_accounts <= t1.youtube_artifacts,
+        "channels never exceed streams"
+    );
+}
+
+#[test]
+fn monitoring_recovers_most_scam_streams() {
+    let run = shared_run();
+    let world_streams = WorldConfig::scaled(0.04).scam_streams;
+    let found = run.report.table1.youtube_artifacts;
+    // Keyword search + QR/chat leads + validation should recover the
+    // large majority of generated scam streams.
+    assert!(
+        found * 10 >= world_streams * 6,
+        "found {found} of {world_streams} scam streams"
+    );
+}
+
+#[test]
+fn revenue_reproduces_table_2_shape() {
+    let run = shared_run();
+    let tw = &run.report.twitter_revenue;
+    let yt = &run.report.youtube_revenue;
+
+    // Twitter beats YouTube on co-occurring revenue (2.7M vs 1.9M).
+    assert!(tw.usd_co_occurring > yt.usd_co_occurring);
+    // "Any" revenue far exceeds co-occurring on both platforms.
+    assert!(tw.usd_any > tw.usd_co_occurring * 1.5);
+    assert!(yt.usd_any > yt.usd_co_occurring * 1.5);
+    // Per-coin structure: BTC dominates YouTube; XRP strong on Twitter.
+    assert!(yt.usd_btc > yt.usd_eth && yt.usd_btc > yt.usd_xrp);
+    assert!(tw.usd_xrp > tw.usd_eth);
+    // Totals are consistent.
+    let sum = tw.usd_btc + tw.usd_eth + tw.usd_xrp;
+    assert!((sum - tw.usd_co_occurring).abs() < 1.0);
+}
+
+#[test]
+fn funnels_match_the_papers_structure() {
+    let run = shared_run();
+    let tw = &run.report.twitter_funnel;
+    // Fewer than all domains have coin addresses; fewer than all of
+    // those get paid (paper: 361 → 258 → 121).
+    assert!(tw.domains_with_coin > 0);
+    assert!(tw.domains_paid < tw.domains_with_coin);
+    assert!(tw.domains_paid > 0);
+    // Only a minority of payments co-occur with lures (43% / 34%).
+    assert!(tw.payments_co_occurring_raw < tw.payments_any);
+    assert!(tw.consolidations_removed > 0, "scam senders filtered");
+    assert_eq!(
+        tw.payments_final,
+        tw.payments_co_occurring_raw - tw.consolidations_removed
+    );
+    let yt = &run.report.youtube_funnel;
+    assert!(yt.payments_final > 0);
+    assert!(yt.payments_co_occurring_raw < yt.payments_any);
+}
+
+#[test]
+fn conversion_rates_are_orders_of_magnitude_apart() {
+    let run = shared_run();
+    let tw = run.report.twitter_conversions;
+    let yt = run.report.youtube_conversions;
+    // Twitter: ~0.12% per tweet. Allow a generous band at small scale.
+    assert!(
+        (0.0004..0.004).contains(&tw.rate),
+        "twitter conversion {}",
+        tw.rate
+    );
+    // YouTube: ~0.0039% per view.
+    assert!(
+        (0.000004..0.0004).contains(&yt.rate),
+        "youtube conversion {}",
+        yt.rate
+    );
+    // Twitter per-tweet conversion is orders of magnitude above the
+    // per-view rate.
+    assert!(tw.rate > yt.rate * 5.0);
+}
+
+#[test]
+fn exchange_origins_dominate() {
+    let run = shared_run();
+    let origins = run.report.origins;
+    assert!(origins.payments > 0);
+    assert!(
+        (0.40..0.75).contains(&origins.exchange_rate),
+        "exchange rate {}",
+        origins.exchange_rate
+    );
+}
+
+#[test]
+fn whale_distribution_is_top_heavy() {
+    let run = shared_run();
+    for whales in [&run.report.twitter_whales, &run.report.youtube_whales] {
+        assert!(whales.payments > 0);
+        // A small fraction of payments carries half the value.
+        assert!(
+            whales.top_for_half * 5 < whales.payments,
+            "{} of {} payments for half the value",
+            whales.top_for_half,
+            whales.payments
+        );
+        assert!(whales.top_for_half <= whales.top_for_90pct);
+    }
+}
+
+#[test]
+fn scammers_keep_btc_clusters_small() {
+    let run = shared_run();
+    let r = &run.report.recipients;
+    assert!(r.btc_recipients > 0);
+    let singleton_rate = r.btc_singletons as f64 / r.btc_recipients as f64;
+    assert!(
+        singleton_rate > 0.7,
+        "singleton rate {singleton_rate} (paper: 87%)"
+    );
+}
+
+#[test]
+fn cashout_is_mostly_unlabeled_with_some_exchanges() {
+    let run = shared_run();
+    let out = &run.report.outgoing;
+    assert!(out.recipients > 0);
+    assert!(out.unlabeled_rate() > 0.7, "{}", out.unlabeled_rate());
+    // Some outgoing edges reach known services.
+    let labeled: usize = out.by_category.values().sum();
+    assert!(labeled > 0);
+}
+
+#[test]
+fn twitch_pilot_finds_no_scams() {
+    let run = shared_run();
+    assert_eq!(run.report.twitch.scams_found, 0);
+    assert!(run.report.twitch.streams_listed > 0);
+}
+
+#[test]
+fn weekly_timelines_have_bursts() {
+    let run = shared_run();
+    let tw = &run.report.twitter_weekly;
+    assert_eq!(tw.total_count(), run.report.table1.twitter_artifacts as u64);
+    // The peak week carries a disproportionate share (paper: ~20%).
+    let peak_share = tw.peak().count as f64 / tw.total_count().max(1) as f64;
+    assert!(peak_share > 0.1, "peak share {peak_share}");
+    let yt = &run.report.youtube_weekly;
+    assert!(yt.total_count() > 0);
+}
+
+#[test]
+fn comparison_table_renders() {
+    let run = shared_run();
+    let rows = run.report.compare_with_paper(0.04);
+    assert!(rows.len() > 40, "comparison covers every artifact");
+    let text = run.report.render_comparison(0.04);
+    assert!(text.contains("twitter USD (co-occurring)"));
+    assert!(text.contains("T1"));
+    // And it serializes for EXPERIMENTS.md tooling.
+    let json = serde_json::to_string(&run.report).unwrap();
+    assert!(json.contains("twitter_revenue"));
+}
+
+#[test]
+fn pilot_tracks_qr_persistence() {
+    let run = shared_run();
+    let qr = run
+        .report
+        .qr_pilot
+        .as_ref()
+        .expect("pilot observed QR codes");
+    assert!(qr.tracked > 0);
+    assert!(qr.mean_seconds > 0.0);
+    assert!(qr.median_seconds <= qr.mean_seconds * 2.0);
+}
