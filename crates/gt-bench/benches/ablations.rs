@@ -110,13 +110,14 @@ fn ablate_window(c: &mut Criterion) {
             });
         }
         dataset_narrow.tweet_count = twitter.tweet_count;
-        let mut clustering = Clustering::build(&world.chains.btc);
+        let clustering = gt_cluster::ClusterView::build(&world.chains.btc);
+        let tags = world.tags.resolver(&clustering);
         let analysis = analyze_twitter(
             &dataset_narrow,
             &world.chains,
             &world.prices,
-            &world.tags,
-            &mut clustering,
+            &tags,
+            &clustering,
             &known,
         );
         println!(
@@ -127,13 +128,14 @@ fn ablate_window(c: &mut Criterion) {
 
     c.bench_function("ablation/co_occurrence_isolation", |b| {
         b.iter(|| {
-            let mut clustering = Clustering::build(&world.chains.btc);
+            let clustering = gt_cluster::ClusterView::build(&world.chains.btc);
+            let tags = world.tags.resolver(&clustering);
             black_box(analyze_twitter(
                 twitter,
                 &world.chains,
                 &world.prices,
-                &world.tags,
-                &mut clustering,
+                &tags,
+                &clustering,
                 &known,
             ))
         })

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gt_bench::{bench_datasets, bench_world};
-use gt_cluster::Clustering;
+use gt_cluster::{ClusterView, Clustering};
 use gt_core::payments::{analyze_twitter, analyze_youtube};
 use std::collections::HashSet;
 use std::hint::black_box;
@@ -24,9 +24,10 @@ fn bench_table2(c: &mut Criterion) {
 
     // Print the regenerated Table 2 once.
     {
-        let mut clustering = Clustering::build(&world.chains.btc);
-        let tw = analyze_twitter(twitter, &world.chains, &world.prices, &world.tags, &mut clustering, &known);
-        let yt = analyze_youtube(youtube, &world.chains, &world.prices, &world.tags, &mut clustering, &known);
+        let clustering = ClusterView::build(&world.chains.btc);
+        let tags = world.tags.resolver(&clustering);
+        let tw = analyze_twitter(twitter, &world.chains, &world.prices, &tags, &clustering, &known);
+        let yt = analyze_youtube(youtube, &world.chains, &world.prices, &tags, &clustering, &known);
         println!("Table 2 (scale {}):", gt_bench::BENCH_SCALE);
         println!("  Twitter: {:?}", tw.revenue);
         println!("  YouTube: {:?}", yt.revenue);
@@ -34,26 +35,28 @@ fn bench_table2(c: &mut Criterion) {
 
     c.bench_function("table2/analyze_twitter", |b| {
         b.iter(|| {
-            let mut clustering = Clustering::build(&world.chains.btc);
+            let clustering = ClusterView::build(&world.chains.btc);
+            let tags = world.tags.resolver(&clustering);
             black_box(analyze_twitter(
                 twitter,
                 &world.chains,
                 &world.prices,
-                &world.tags,
-                &mut clustering,
+                &tags,
+                &clustering,
                 &known,
             ))
         })
     });
     c.bench_function("table2/analyze_youtube", |b| {
         b.iter(|| {
-            let mut clustering = Clustering::build(&world.chains.btc);
+            let clustering = ClusterView::build(&world.chains.btc);
+            let tags = world.tags.resolver(&clustering);
             black_box(analyze_youtube(
                 youtube,
                 &world.chains,
                 &world.prices,
-                &world.tags,
-                &mut clustering,
+                &tags,
+                &clustering,
                 &known,
             ))
         })

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gt_bench::{bench_datasets, bench_world};
-use gt_cluster::Clustering;
+use gt_cluster::ClusterView;
 use gt_core::payments::{analyze_twitter, analyze_youtube, PaymentAnalysis};
 use gt_core::{scammers, victims};
 use std::collections::HashSet;
@@ -22,10 +22,11 @@ fn analyses() -> &'static (PaymentAnalysis, PaymentAnalysis) {
         for d in &youtube.domains {
             known.extend(d.validation.addresses.iter().copied());
         }
-        let mut clustering = Clustering::build(&world.chains.btc);
+        let clustering = ClusterView::build(&world.chains.btc);
+        let tags = world.tags.resolver(&clustering);
         (
-            analyze_twitter(twitter, &world.chains, &world.prices, &world.tags, &mut clustering, &known),
-            analyze_youtube(youtube, &world.chains, &world.prices, &world.tags, &mut clustering, &known),
+            analyze_twitter(twitter, &world.chains, &world.prices, &tags, &clustering, &known),
+            analyze_youtube(youtube, &world.chains, &world.prices, &tags, &clustering, &known),
         )
     })
 }
@@ -36,10 +37,10 @@ fn bench_sections(c: &mut Criterion) {
 
     // Print the section numbers once.
     {
-        let mut clustering = Clustering::build(&world.chains.btc);
+        let clustering = ClusterView::build(&world.chains.btc);
         let conv = victims::conversions(tw, 45_725);
         let whales = victims::whale_distribution(tw);
-        let recips = scammers::recipient_stats(&[tw, yt], &mut clustering);
+        let recips = scammers::recipient_stats(&[tw, yt], &clustering);
         println!("S5.4/5.5 (scale {}):", gt_bench::BENCH_SCALE);
         println!("  conversions: {conv:?}");
         println!("  whales: {whales:?}");
@@ -54,24 +55,26 @@ fn bench_sections(c: &mut Criterion) {
     });
     c.bench_function("s5.4/payment_origins", |b| {
         b.iter(|| {
-            let mut clustering = Clustering::build(&world.chains.btc);
-            black_box(victims::payment_origins(&[tw, yt], &world.tags, &mut clustering))
+            let clustering = ClusterView::build(&world.chains.btc);
+            let tags = world.tags.resolver(&clustering);
+            black_box(victims::payment_origins(&[tw, yt], &tags, &clustering))
         })
     });
     c.bench_function("s5.5/recipient_stats", |b| {
         b.iter(|| {
-            let mut clustering = Clustering::build(&world.chains.btc);
-            black_box(scammers::recipient_stats(&[tw, yt], &mut clustering))
+            let clustering = ClusterView::build(&world.chains.btc);
+            black_box(scammers::recipient_stats(&[tw, yt], &clustering))
         })
     });
     c.bench_function("s5.5/outgoing_stats", |b| {
         b.iter(|| {
-            let mut clustering = Clustering::build(&world.chains.btc);
+            let clustering = ClusterView::build(&world.chains.btc);
+            let tags = world.tags.resolver(&clustering);
             black_box(scammers::outgoing_stats(
                 &[tw, yt],
                 &world.chains,
-                &world.tags,
-                &mut clustering,
+                &tags,
+                &clustering,
             ))
         })
     });

@@ -208,7 +208,7 @@ impl BtcLedger {
                 }
             }
         }
-        candidates.sort_by(|a, b| b.1.value.cmp(&a.1.value));
+        candidates.sort_by_key(|&(_, txo)| std::cmp::Reverse(txo.value));
         let mut picked = Vec::new();
         let mut total = Amount::ZERO;
         for (op, txo) in candidates {
@@ -558,8 +558,8 @@ mod tests {
         let mut ledger = BtcLedger::new();
         let a = addrs(8);
         // Four participants each fund an input ...
-        for i in 0..4 {
-            ledger.coinbase(a[i], Amount(10_000), t(i as i64)).unwrap();
+        for (i, &addr) in a.iter().enumerate().take(4) {
+            ledger.coinbase(addr, Amount(10_000), t(i as i64)).unwrap();
         }
         let inputs: Vec<OutPoint> = (0..4).map(|i| OutPoint { tx_index: i, vout: 0 }).collect();
         // ... and receive equal-valued outputs at fresh addresses.

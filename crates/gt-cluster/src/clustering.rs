@@ -9,6 +9,7 @@
 
 use crate::coinjoin::looks_like_coinjoin;
 use crate::unionfind::UnionFind;
+use crate::view::ClusterView;
 use gt_addr::BtcAddress;
 use gt_chain::BtcLedger;
 use std::collections::HashMap;
@@ -138,6 +139,12 @@ impl Clustering {
     /// Number of addresses known to the clustering.
     pub fn address_count(&self) -> usize {
         self.indices.len()
+    }
+
+    /// Freeze into an immutable [`ClusterView`] that answers every query
+    /// through `&self` and can be shared across threads.
+    pub fn finalize(self) -> ClusterView {
+        crate::view::freeze(self.indices, self.uf, self.skipped_coinjoins)
     }
 }
 

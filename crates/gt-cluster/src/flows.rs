@@ -8,8 +8,8 @@
 //! the trace bottoms out), attributing value proportionally at each
 //! split.
 
-use crate::clustering::Clustering;
-use crate::tags::{Category, TagService};
+use crate::tags::{Category, TagResolver};
+use crate::view::ClusterView;
 use gt_addr::Address;
 use gt_chain::ChainView;
 use std::collections::{BTreeMap, HashSet, VecDeque};
@@ -48,8 +48,8 @@ impl FlowExposure {
 pub fn trace_forward(
     source: Address,
     chains: &ChainView,
-    tags: &TagService,
-    clustering: &mut Clustering,
+    tags: &TagResolver,
+    clustering: &ClusterView,
     max_hops: usize,
 ) -> FlowExposure {
     let mut exposure = FlowExposure::default();
@@ -108,8 +108,8 @@ pub fn trace_forward(
 pub fn aggregate_exposure(
     sources: &[Address],
     chains: &ChainView,
-    tags: &TagService,
-    clustering: &mut Clustering,
+    tags: &TagResolver,
+    clustering: &ClusterView,
     max_hops: usize,
 ) -> FlowExposure {
     let mut total = FlowExposure::default();
@@ -127,6 +127,7 @@ pub fn aggregate_exposure(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tags::TagService;
     use gt_addr::BtcAddress;
     use gt_chain::Amount;
     use gt_sim::SimTime;
@@ -167,13 +168,14 @@ mod tests {
     #[test]
     fn one_hop_trace_reaches_the_exchange() {
         let (chains, tags) = chain_with_one_hop();
-        let mut clustering = Clustering::build(&chains.btc);
+        let clustering = ClusterView::build(&chains.btc);
+        let tags = tags.resolver(&clustering);
         // Depth 1: stops at the unlabeled hop.
-        let shallow = trace_forward(a(9), &chains, &tags, &mut clustering, 1);
+        let shallow = trace_forward(a(9), &chains, &tags, &clustering, 1);
         assert_eq!(shallow.share(Category::Exchange), 0.0);
         assert!(shallow.unresolved > 0.0);
         // Depth 3: reaches the exchange.
-        let deep = trace_forward(a(9), &chains, &tags, &mut clustering, 3);
+        let deep = trace_forward(a(9), &chains, &tags, &clustering, 3);
         assert!(
             deep.share(Category::Exchange) > 0.9,
             "exchange share {}",
@@ -205,8 +207,9 @@ mod tests {
                 t(2),
             )
             .unwrap();
-        let mut clustering = Clustering::build(&chains.btc);
-        let e = trace_forward(a(9), &chains, &tags, &mut clustering, 2);
+        let clustering = ClusterView::build(&chains.btc);
+        let tags = tags.resolver(&clustering);
+        let e = trace_forward(a(9), &chains, &tags, &clustering, 2);
         assert!((e.share(Category::Exchange) - 0.75).abs() < 0.01);
         assert!((e.share(Category::Mixing) - 0.25).abs() < 0.01);
     }
@@ -220,8 +223,9 @@ mod tests {
             .btc
             .pay(&[addr(1)], addr(9), Amount(40_000), addr(1), Amount(0), t(1))
             .unwrap();
-        let mut clustering = Clustering::build(&chains.btc);
-        let e = trace_forward(a(9), &chains, &tags, &mut clustering, 5);
+        let clustering = ClusterView::build(&chains.btc);
+        let tags = tags.resolver(&clustering);
+        let e = trace_forward(a(9), &chains, &tags, &clustering, 5);
         assert_eq!(e.by_category.len(), 0);
         assert!(e.unresolved > 0.0);
     }
@@ -239,17 +243,19 @@ mod tests {
             .btc
             .pay(&[addr(10)], addr(9), Amount(80_000), addr(10), Amount(0), t(2))
             .unwrap();
-        let mut clustering = Clustering::build(&chains.btc);
-        let e = trace_forward(a(9), &chains, &tags, &mut clustering, 10);
+        let clustering = ClusterView::build(&chains.btc);
+        let tags = tags.resolver(&clustering);
+        let e = trace_forward(a(9), &chains, &tags, &clustering, 10);
         assert!(e.visited <= 3);
     }
 
     #[test]
     fn aggregate_sums_sources() {
         let (chains, tags) = chain_with_one_hop();
-        let mut clustering = Clustering::build(&chains.btc);
-        let agg = aggregate_exposure(&[a(9)], &chains, &tags, &mut clustering, 3);
-        let single = trace_forward(a(9), &chains, &tags, &mut clustering, 3);
+        let clustering = ClusterView::build(&chains.btc);
+        let tags = tags.resolver(&clustering);
+        let agg = aggregate_exposure(&[a(9)], &chains, &tags, &clustering, 3);
+        let single = trace_forward(a(9), &chains, &tags, &clustering, 3);
         assert_eq!(agg.by_category, single.by_category);
     }
 
@@ -257,8 +263,9 @@ mod tests {
     fn empty_source_is_empty() {
         let chains = ChainView::new();
         let tags = TagService::new();
-        let mut clustering = Clustering::build(&chains.btc);
-        let e = trace_forward(a(42), &chains, &tags, &mut clustering, 3);
+        let clustering = ClusterView::build(&chains.btc);
+        let tags = tags.resolver(&clustering);
+        let e = trace_forward(a(42), &chains, &tags, &clustering, 3);
         assert_eq!(e.visited, 0);
         assert_eq!(e.unresolved, 0.0);
     }

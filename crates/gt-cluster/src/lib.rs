@@ -18,9 +18,11 @@ pub mod coinjoin;
 pub mod flows;
 pub mod tags;
 pub mod unionfind;
+pub mod view;
 
-pub use clustering::{ClusterId, Clustering};
+pub use clustering::{ClusterId, Clustering, ClusteringOptions};
 pub use coinjoin::looks_like_coinjoin;
 pub use flows::{aggregate_exposure, trace_forward, FlowExposure};
-pub use tags::{Category, TagService};
+pub use tags::{Category, TagResolver, TagService};
 pub use unionfind::UnionFind;
+pub use view::ClusterView;

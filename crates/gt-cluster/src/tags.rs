@@ -8,7 +8,8 @@
 //! the real tool's do — tagging one address of an exchange tags the whole
 //! multi-input cluster.
 
-use crate::clustering::Clustering;
+use crate::clustering::{ClusterId, Clustering};
+use crate::view::ClusterView;
 use gt_addr::Address;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -98,6 +99,61 @@ impl TagService {
         }
         None
     }
+
+    /// Precompute cluster-level tags against a frozen [`ClusterView`].
+    ///
+    /// The resulting [`TagResolver`] answers every lookup through `&self`
+    /// (so it can be shared across pipeline stages) and resolves
+    /// conflicting tags within one cluster deterministically: the tag of
+    /// the lowest tagged address wins, independent of hash-map iteration
+    /// order.
+    pub fn resolver(&self, view: &ClusterView) -> TagResolver {
+        let mut entries: Vec<(Address, Category)> =
+            self.direct.iter().map(|(&a, &c)| (a, c)).collect();
+        entries.sort_by_key(|&(a, _)| a);
+        let mut cluster_tags: HashMap<ClusterId, Category> = HashMap::new();
+        for (address, category) in entries {
+            if let Address::Btc(btc_addr) = address {
+                if let Some(id) = view.cluster_of(btc_addr) {
+                    cluster_tags.entry(id).or_insert(category);
+                }
+            }
+        }
+        TagResolver {
+            direct: self.direct.clone(),
+            cluster_tags,
+        }
+    }
+}
+
+/// Immutable tag lookups with precomputed cluster propagation.
+///
+/// Built once from a [`TagService`] and a [`ClusterView`]; `Sync`, so the
+/// parallel pipeline stages share one resolver by reference.
+#[derive(Debug, Clone)]
+pub struct TagResolver {
+    direct: HashMap<Address, Category>,
+    cluster_tags: HashMap<ClusterId, Category>,
+}
+
+impl TagResolver {
+    /// Direct lookup, no cluster propagation.
+    pub fn category_direct(&self, address: Address) -> Option<Category> {
+        self.direct.get(&address).copied()
+    }
+
+    /// Category of `address`, propagating through the BTC clustering the
+    /// resolver was built against.
+    pub fn category(&self, address: Address, view: &ClusterView) -> Option<Category> {
+        if let Some(c) = self.category_direct(address) {
+            return Some(c);
+        }
+        if let Address::Btc(btc_addr) = address {
+            let id = view.cluster_of(btc_addr)?;
+            return self.cluster_tags.get(&id).copied();
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +217,79 @@ mod tests {
         let mut clustering = Clustering::build(&ledger);
         let tags = TagService::new();
         assert_eq!(tags.category(Address::Btc(addr(7)), &mut clustering), None);
+    }
+
+    #[test]
+    fn resolver_matches_mutable_lookup() {
+        let mut ledger = BtcLedger::new();
+        ledger.coinbase(addr(1), Amount(5_000), t(0)).unwrap();
+        ledger.coinbase(addr(2), Amount(5_000), t(1)).unwrap();
+        ledger
+            .pay(&[addr(1), addr(2)], addr(9), Amount(9_000), addr(1), Amount(100), t(2))
+            .unwrap();
+        let mut tags = TagService::new();
+        tags.tag(Address::Btc(addr(1)), Category::Exchange);
+        tags.tag(Address::Eth(EthAddress([1; 20])), Category::Mixing);
+
+        let view = crate::view::ClusterView::build(&ledger);
+        let resolver = tags.resolver(&view);
+        let mut clustering = Clustering::build(&ledger);
+        for b in [1u8, 2, 9, 42] {
+            assert_eq!(
+                resolver.category(Address::Btc(addr(b)), &view),
+                tags.category(Address::Btc(addr(b)), &mut clustering),
+                "addr {b}"
+            );
+        }
+        assert_eq!(
+            resolver.category(Address::Eth(EthAddress([1; 20])), &view),
+            Some(Category::Mixing)
+        );
+        assert_eq!(
+            resolver.category_direct(Address::Btc(addr(2))),
+            None,
+            "direct lookup does not propagate"
+        );
+    }
+
+    #[test]
+    fn resolver_conflicting_cluster_tags_are_deterministic() {
+        // Cluster {1, 2, 3}; addr(1) and addr(2) carry different tags;
+        // addr(3) is untagged and resolves through the cluster. The tag
+        // of the lowest tagged address must win, regardless of the order
+        // the tags were registered in.
+        let mut ledger = BtcLedger::new();
+        ledger.coinbase(addr(1), Amount(5_000), t(0)).unwrap();
+        ledger.coinbase(addr(2), Amount(5_000), t(1)).unwrap();
+        ledger
+            .pay(&[addr(1), addr(2)], addr(9), Amount(9_000), addr(1), Amount(100), t(2))
+            .unwrap();
+        ledger.coinbase(addr(2), Amount(5_000), t(3)).unwrap();
+        ledger.coinbase(addr(3), Amount(5_000), t(4)).unwrap();
+        ledger
+            .pay(&[addr(2), addr(3)], addr(9), Amount(9_000), addr(2), Amount(100), t(5))
+            .unwrap();
+        let view = crate::view::ClusterView::build(&ledger);
+        assert!(view.same_cluster(addr(1), addr(3)));
+
+        let mut forwards = TagService::new();
+        forwards.tag(Address::Btc(addr(1)), Category::Exchange);
+        forwards.tag(Address::Btc(addr(2)), Category::Gambling);
+        let mut backwards = TagService::new();
+        backwards.tag(Address::Btc(addr(2)), Category::Gambling);
+        backwards.tag(Address::Btc(addr(1)), Category::Exchange);
+
+        let probe = Address::Btc(addr(3));
+        assert_eq!(
+            forwards.resolver(&view).category(probe, &view),
+            Some(Category::Exchange),
+            "lowest tagged address wins"
+        );
+        assert_eq!(
+            backwards.resolver(&view).category(probe, &view),
+            Some(Category::Exchange),
+            "registration order is irrelevant"
+        );
     }
 
     #[test]

@@ -1,0 +1,332 @@
+//! Immutable, shareable clustering results.
+//!
+//! [`Clustering`] answers queries through `&mut self` because union-find
+//! lookups path-compress. That shape cannot be shared across pipeline
+//! stages running on different threads, so the executor works with a
+//! [`ClusterView`]: the same partition, frozen into plain lookup tables,
+//! `Sync`, and queryable through `&self`.
+//!
+//! The view can also be *built* in parallel: the ledger's transaction
+//! range is split into contiguous shards, each shard runs the multi-input
+//! heuristic locally (CoinJoin detection included — it is a per-
+//! transaction predicate), and the per-shard union-finds are merged in
+//! shard order. Because shards are contiguous and merged in order, the
+//! concatenation of per-shard first-seen address orders equals the serial
+//! scan order, so cluster ids, sizes, and every lookup are byte-identical
+//! regardless of thread count.
+
+use crate::clustering::{ClusterId, Clustering, ClusteringOptions};
+use crate::coinjoin::looks_like_coinjoin;
+use crate::unionfind::UnionFind;
+use gt_addr::BtcAddress;
+use gt_chain::{BtcLedger, BtcTx};
+use std::collections::HashMap;
+
+/// Frozen multi-input clustering: immutable, `Sync`, shared by reference
+/// across analysis stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterView {
+    /// Address → dense address index, in first-appearance order.
+    pub(crate) indices: HashMap<BtcAddress, usize>,
+    /// Address index → cluster id.
+    pub(crate) ids: Vec<ClusterId>,
+    /// Cluster id → member count.
+    pub(crate) sizes: Vec<usize>,
+    /// Number of transactions skipped as CoinJoin-shaped.
+    pub skipped_coinjoins: usize,
+}
+
+impl ClusterView {
+    /// Serial build with default options.
+    pub fn build(ledger: &BtcLedger) -> Self {
+        Self::build_with(ledger, ClusteringOptions::default())
+    }
+
+    /// Serial build with explicit options.
+    pub fn build_with(ledger: &BtcLedger, options: ClusteringOptions) -> Self {
+        Clustering::build_with(ledger, options).finalize()
+    }
+
+    /// Sharded parallel build; produces results identical to
+    /// [`ClusterView::build_with`] for any `threads`.
+    pub fn build_par(ledger: &BtcLedger, options: ClusteringOptions, threads: usize) -> Self {
+        let txs = ledger.txs();
+        // Below a few shards' worth of work the merge bookkeeping costs
+        // more than it saves.
+        if threads <= 1 || txs.len() < 2 * threads {
+            return Self::build_with(ledger, options);
+        }
+        let chunk = txs.len().div_ceil(threads);
+        let shards: Vec<ShardResult> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = txs
+                .chunks(chunk)
+                .map(|slice| scope.spawn(move |_| cluster_shard(slice, options)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("cluster shard panicked"))
+                .collect()
+        })
+        .expect("cluster shard pool panicked");
+        merge_shards(shards)
+    }
+
+    /// The cluster containing `address`, if the address appeared on chain.
+    pub fn cluster_of(&self, address: BtcAddress) -> Option<ClusterId> {
+        self.indices.get(&address).map(|&idx| self.ids[idx])
+    }
+
+    /// Size of the cluster containing `address` (number of addresses).
+    pub fn cluster_size(&self, address: BtcAddress) -> Option<usize> {
+        self.cluster_of(address).map(|id| self.sizes[id.0])
+    }
+
+    /// Whether two addresses share a cluster.
+    pub fn same_cluster(&self, a: BtcAddress, b: BtcAddress) -> bool {
+        match (self.cluster_of(a), self.cluster_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Number of distinct clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Number of addresses known to the clustering.
+    pub fn address_count(&self) -> usize {
+        self.indices.len()
+    }
+}
+
+/// One contiguous transaction range, clustered locally.
+struct ShardResult {
+    /// Addresses in local first-appearance order; the local index of an
+    /// address is its position here.
+    first_seen: Vec<BtcAddress>,
+    uf: UnionFind,
+    skipped: usize,
+}
+
+fn cluster_shard(txs: &[BtcTx], options: ClusteringOptions) -> ShardResult {
+    let mut local: HashMap<BtcAddress, usize> = HashMap::new();
+    let mut first_seen: Vec<BtcAddress> = Vec::new();
+    let mut uf = UnionFind::new(0);
+    let mut skipped = 0usize;
+
+    fn index_of(
+        addr: BtcAddress,
+        local: &mut HashMap<BtcAddress, usize>,
+        first_seen: &mut Vec<BtcAddress>,
+        uf: &mut UnionFind,
+    ) -> usize {
+        *local.entry(addr).or_insert_with(|| {
+            first_seen.push(addr);
+            uf.push()
+        })
+    }
+
+    for tx in txs {
+        for o in &tx.outputs {
+            index_of(o.address, &mut local, &mut first_seen, &mut uf);
+        }
+        let inputs = tx.input_addresses();
+        if inputs.is_empty() {
+            continue;
+        }
+        if options.coinjoin_aware && looks_like_coinjoin(tx) {
+            skipped += 1;
+            for a in inputs {
+                index_of(a, &mut local, &mut first_seen, &mut uf);
+            }
+            continue;
+        }
+        let first = index_of(inputs[0], &mut local, &mut first_seen, &mut uf);
+        for a in &inputs[1..] {
+            let idx = index_of(*a, &mut local, &mut first_seen, &mut uf);
+            uf.union(first, idx);
+        }
+    }
+
+    ShardResult {
+        first_seen,
+        uf,
+        skipped,
+    }
+}
+
+fn merge_shards(shards: Vec<ShardResult>) -> ClusterView {
+    let mut indices: HashMap<BtcAddress, usize> = HashMap::new();
+    let mut uf = UnionFind::new(0);
+    let mut skipped = 0usize;
+
+    for shard in shards {
+        skipped += shard.skipped;
+        // Map local indices to global ones. Iterating first_seen in order
+        // keeps global index assignment equal to the serial scan order.
+        let global: Vec<usize> = shard
+            .first_seen
+            .iter()
+            .map(|&addr| *indices.entry(addr).or_insert_with(|| uf.push()))
+            .collect();
+        let mut local_uf = shard.uf;
+        for (i, &g) in global.iter().enumerate() {
+            let root = local_uf.find(i);
+            if root != i {
+                uf.union(global[root], g);
+            }
+        }
+    }
+
+    freeze(indices, uf, skipped)
+}
+
+/// Assign dense cluster ids (by first member appearance) and sizes.
+pub(crate) fn freeze(
+    indices: HashMap<BtcAddress, usize>,
+    mut uf: UnionFind,
+    skipped_coinjoins: usize,
+) -> ClusterView {
+    let mut by_root: HashMap<usize, ClusterId> = HashMap::new();
+    let mut ids: Vec<ClusterId> = Vec::with_capacity(uf.len());
+    let mut sizes: Vec<usize> = Vec::new();
+    for k in 0..uf.len() {
+        let root = uf.find(k);
+        let next = ClusterId(sizes.len());
+        let id = *by_root.entry(root).or_insert_with(|| {
+            sizes.push(0);
+            next
+        });
+        sizes[id.0] += 1;
+        ids.push(id);
+    }
+    ClusterView {
+        indices,
+        ids,
+        sizes,
+        skipped_coinjoins,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_chain::{Amount, OutPoint, TxOut};
+    use gt_sim::SimTime;
+
+    fn addr(b: u8) -> BtcAddress {
+        BtcAddress::P2pkh([b; 20])
+    }
+
+    fn t(s: i64) -> SimTime {
+        SimTime(1_700_000_000 + s)
+    }
+
+    /// A ledger with enough structure to exercise cross-shard merges:
+    /// a chain of co-spends spanning the whole transaction range, extra
+    /// singletons, and a CoinJoin near the end.
+    fn busy_ledger() -> BtcLedger {
+        let mut ledger = BtcLedger::new();
+        // Singletons that never co-spend.
+        for i in 21..32u8 {
+            ledger.coinbase(addr(i), Amount(10_000), t(i as i64)).unwrap();
+        }
+        // Rolling co-spends: (0,1), (1,2), ... creates one long chain of
+        // merges that no single shard sees in full. Each address holds a
+        // single 30k UTXO at spend time, so paying 55k forces a genuine
+        // two-input transaction.
+        for i in 0..20u8 {
+            let base = 100 + 3 * i as i64;
+            ledger.coinbase(addr(i), Amount(30_000), t(base)).unwrap();
+            ledger.coinbase(addr(i + 1), Amount(30_000), t(base + 1)).unwrap();
+            ledger
+                .pay(
+                    &[addr(i), addr(i + 1)],
+                    addr(100 + i),
+                    Amount(55_000),
+                    addr(220),
+                    Amount::ZERO,
+                    t(base + 2),
+                )
+                .unwrap();
+        }
+        // A CoinJoin-shaped tx that must not merge its inputs.
+        let funding: Vec<u64> = (40..44u8)
+            .map(|i| {
+                ledger
+                    .coinbase(addr(i), Amount(10_000), t(300 + i as i64))
+                    .unwrap()
+            })
+            .collect();
+        let inputs: Vec<OutPoint> = funding
+            .into_iter()
+            .map(|tx_index| OutPoint { tx_index, vout: 0 })
+            .collect();
+        let outputs: Vec<TxOut> = (50..54)
+            .map(|b| TxOut {
+                address: addr(b),
+                value: Amount(9_900),
+            })
+            .collect();
+        ledger.submit(&inputs, &outputs, t(400)).unwrap();
+        ledger
+    }
+
+    #[test]
+    fn view_matches_mutable_clustering() {
+        let ledger = busy_ledger();
+        let mut c = Clustering::build(&ledger);
+        let view = ClusterView::build(&ledger);
+        assert_eq!(view.cluster_count(), c.cluster_count());
+        assert_eq!(view.address_count(), c.address_count());
+        for i in 0..32u8 {
+            assert_eq!(view.cluster_of(addr(i)), c.cluster_of(addr(i)), "addr {i}");
+            assert_eq!(view.cluster_size(addr(i)), c.cluster_size(addr(i)));
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_identical_for_any_thread_count() {
+        let ledger = busy_ledger();
+        let serial = ClusterView::build(&ledger);
+        for threads in [2, 3, 4, 8] {
+            let par = ClusterView::build_par(&ledger, ClusteringOptions::default(), threads);
+            assert_eq!(par, serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_build_preserves_coinjoin_semantics() {
+        let ledger = busy_ledger();
+        let aware = ClusterView::build_par(&ledger, ClusteringOptions::default(), 4);
+        assert_eq!(aware.skipped_coinjoins, 1);
+        assert!(!aware.same_cluster(addr(40), addr(41)));
+        let naive = ClusterView::build_par(
+            &ledger,
+            ClusteringOptions {
+                coinjoin_aware: false,
+            },
+            4,
+        );
+        assert_eq!(naive.skipped_coinjoins, 0);
+        assert!(naive.same_cluster(addr(40), addr(41)));
+    }
+
+    #[test]
+    fn cross_shard_chains_merge() {
+        let ledger = busy_ledger();
+        let view = ClusterView::build_par(&ledger, ClusteringOptions::default(), 8);
+        // The rolling co-spend chain merges addresses 0..=20.
+        assert!(view.same_cluster(addr(0), addr(20)));
+        assert_eq!(view.cluster_size(addr(0)), Some(21));
+    }
+
+    #[test]
+    fn unknown_address_has_no_cluster() {
+        let view = ClusterView::build(&BtcLedger::new());
+        assert_eq!(view.cluster_of(addr(99)), None);
+        assert_eq!(view.cluster_size(addr(99)), None);
+        assert!(!view.same_cluster(addr(1), addr(1)));
+    }
+}

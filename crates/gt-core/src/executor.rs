@@ -1,0 +1,364 @@
+//! A small dependency-graph stage executor.
+//!
+//! The pipeline is a DAG of *stages* (build the Twitter dataset, run the
+//! pilot monitor, cluster the BTC ledger, ...). Stages that do not
+//! depend on each other run concurrently on a pool of scoped worker
+//! threads; each stage records its wall time and an item count into
+//! [`StageTimings`].
+//!
+//! Results never depend on the thread count: every stage is a pure
+//! function of its dependencies' outputs, and the scheduler only decides
+//! *when* a stage runs, not *what* it sees. The end-to-end determinism
+//! test (`tests/determinism.rs`) pins this down.
+
+use serde::Serialize;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+type BoxedAny = Box<dyn Any + Send + Sync>;
+type StageFn<'env> = Box<dyn FnOnce(&StageResults) -> (BoxedAny, u64) + Send + 'env>;
+
+/// Wall time and item count for one completed stage.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StageTiming {
+    pub name: String,
+    /// Wall-clock milliseconds the stage body took.
+    pub wall_ms: f64,
+    /// Stage-defined unit count (domains built, transactions clustered,
+    /// payments isolated, ...); 0 when the stage reports none.
+    pub items: u64,
+}
+
+/// Per-run execution telemetry, embedded in
+/// [`PaperRun`](crate::pipeline::PaperRun) — deliberately *not* in
+/// [`PaperReport`](crate::report::PaperReport), which must stay
+/// byte-identical across thread counts.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct StageTimings {
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// Wall-clock milliseconds for the whole graph.
+    pub total_ms: f64,
+    /// One entry per stage, in registration order.
+    pub stages: Vec<StageTiming>,
+}
+
+impl StageTimings {
+    /// Timing entry by stage name, if present.
+    pub fn stage(&self, name: &str) -> Option<&StageTiming> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+}
+
+/// Typed handle to a stage's future output.
+pub struct StageId<T> {
+    index: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+// Derived impls would bound `T`; the handle is always copyable.
+impl<T> Clone for StageId<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for StageId<T> {}
+
+impl<T> StageId<T> {
+    /// The untyped index, usable in a dependency list.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
+/// Read access to completed dependencies, handed to each stage body.
+pub struct StageResults<'a> {
+    slots: &'a [OnceLock<BoxedAny>],
+}
+
+impl StageResults<'_> {
+    /// The output of a completed dependency stage.
+    ///
+    /// # Panics
+    /// If `id` was not declared as a dependency of the calling stage (the
+    /// scheduler only guarantees declared dependencies have completed).
+    pub fn get<T: Send + Sync + 'static>(&self, id: StageId<T>) -> &T {
+        self.slots[id.index]
+            .get()
+            .expect("stage read a result it did not declare as a dependency")
+            .downcast_ref::<T>()
+            .expect("stage output type mismatch")
+    }
+}
+
+struct Stage<'env> {
+    name: String,
+    deps: Vec<usize>,
+    run: Mutex<Option<StageFn<'env>>>,
+}
+
+/// The stage graph under construction.
+#[derive(Default)]
+pub struct StageGraph<'env> {
+    stages: Vec<Stage<'env>>,
+}
+
+impl<'env> StageGraph<'env> {
+    pub fn new() -> Self {
+        StageGraph { stages: Vec::new() }
+    }
+
+    /// Register a stage. `deps` are indices of previously registered
+    /// stages ([`StageId::index`]); the body receives read access to
+    /// their outputs and returns its own.
+    pub fn add_stage<T, F>(&mut self, name: &str, deps: &[usize], f: F) -> StageId<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce(&StageResults) -> T + Send + 'env,
+    {
+        self.add_stage_with_items(name, deps, move |r| (f(r), 0))
+    }
+
+    /// [`StageGraph::add_stage`] for stages that also report how many
+    /// items they processed.
+    pub fn add_stage_with_items<T, F>(&mut self, name: &str, deps: &[usize], f: F) -> StageId<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce(&StageResults) -> (T, u64) + Send + 'env,
+    {
+        let index = self.stages.len();
+        for &d in deps {
+            assert!(d < index, "stage {name:?} depends on a later stage");
+        }
+        self.stages.push(Stage {
+            name: name.to_string(),
+            deps: deps.to_vec(),
+            run: Mutex::new(Some(Box::new(move |r| {
+                let (value, items) = f(r);
+                (Box::new(value) as BoxedAny, items)
+            }))),
+        });
+        StageId {
+            index,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Execute the graph on `threads` workers (0 = available
+    /// parallelism) and return every stage output plus timings.
+    pub fn run(self, threads: usize) -> StageOutputs {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        let started = Instant::now();
+        let n = self.stages.len();
+
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indegree: Vec<usize> = vec![0; n];
+        for (i, stage) in self.stages.iter().enumerate() {
+            indegree[i] = stage.deps.len();
+            for &d in &stage.deps {
+                dependents[d].push(i);
+            }
+        }
+        let ready: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+
+        let slots: Vec<OnceLock<BoxedAny>> = (0..n).map(|_| OnceLock::new()).collect();
+        let timings: Vec<OnceLock<StageTiming>> = (0..n).map(|_| OnceLock::new()).collect();
+        let sched = Mutex::new(Sched {
+            indegree,
+            ready,
+            remaining: n,
+        });
+        let wake = Condvar::new();
+        let stages = &self.stages;
+
+        if threads <= 1 || n <= 1 {
+            run_worker(stages, &dependents, &slots, &timings, &sched, &wake);
+        } else {
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..threads.min(n) {
+                    scope.spawn(|_| {
+                        run_worker(stages, &dependents, &slots, &timings, &sched, &wake)
+                    });
+                }
+            })
+            .expect("pipeline stage panicked");
+        }
+
+        StageOutputs {
+            slots: slots
+                .into_iter()
+                .map(|cell| cell.into_inner())
+                .collect(),
+            timings: StageTimings {
+                threads,
+                total_ms: started.elapsed().as_secs_f64() * 1_000.0,
+                stages: timings
+                    .into_iter()
+                    .map(|cell| cell.into_inner().expect("stage never ran (dependency cycle?)"))
+                    .collect(),
+            },
+        }
+    }
+}
+
+struct Sched {
+    indegree: Vec<usize>,
+    ready: VecDeque<usize>,
+    remaining: usize,
+}
+
+fn run_worker(
+    stages: &[Stage<'_>],
+    dependents: &[Vec<usize>],
+    slots: &[OnceLock<BoxedAny>],
+    timings: &[OnceLock<StageTiming>],
+    sched: &Mutex<Sched>,
+    wake: &Condvar,
+) {
+    loop {
+        let next = {
+            let mut s = sched.lock().unwrap();
+            loop {
+                if s.remaining == 0 {
+                    return;
+                }
+                if let Some(i) = s.ready.pop_front() {
+                    break i;
+                }
+                s = wake.wait(s).unwrap();
+            }
+        };
+
+        let body = stages[next]
+            .run
+            .lock()
+            .unwrap()
+            .take()
+            .expect("stage scheduled twice");
+        let results = StageResults { slots };
+        let start = Instant::now();
+        let (value, items) = body(&results);
+        let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
+        let _ = slots[next].set(value);
+        let _ = timings[next].set(StageTiming {
+            name: stages[next].name.clone(),
+            wall_ms,
+            items,
+        });
+
+        let mut s = sched.lock().unwrap();
+        s.remaining -= 1;
+        for &d in &dependents[next] {
+            s.indegree[d] -= 1;
+            if s.indegree[d] == 0 {
+                s.ready.push_back(d);
+            }
+        }
+        wake.notify_all();
+    }
+}
+
+/// Every stage's output after a completed run.
+pub struct StageOutputs {
+    slots: Vec<Option<BoxedAny>>,
+    pub timings: StageTimings,
+}
+
+impl StageOutputs {
+    /// Move a stage's output out.
+    ///
+    /// # Panics
+    /// If called twice for the same stage.
+    pub fn take<T: Send + Sync + 'static>(&mut self, id: StageId<T>) -> T {
+        *self.slots[id.index()]
+            .take()
+            .expect("stage output already taken")
+            .downcast::<T>()
+            .expect("stage output type mismatch")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn diamond_graph_runs_in_dependency_order() {
+        for threads in [1, 2, 4] {
+            let mut g = StageGraph::new();
+            let a = g.add_stage("a", &[], |_| 2u64);
+            let b = g.add_stage("b", &[a.index()], move |r| r.get(a) * 10);
+            let c = g.add_stage("c", &[a.index()], move |r| r.get(a) + 5);
+            let d = g.add_stage("d", &[b.index(), c.index()], move |r| {
+                r.get(b) + r.get(c)
+            });
+            let mut out = g.run(threads);
+            assert_eq!(out.take(d), 27, "{threads} threads");
+            assert_eq!(out.timings.threads, threads);
+            assert_eq!(out.timings.stages.len(), 4);
+            assert_eq!(out.timings.stages[0].name, "a");
+        }
+    }
+
+    #[test]
+    fn independent_stages_all_run() {
+        let counter = AtomicUsize::new(0);
+        let mut g = StageGraph::new();
+        for i in 0..16 {
+            g.add_stage::<usize, _>(&format!("s{i}"), &[], |_| {
+                counter.fetch_add(1, Ordering::SeqCst)
+            });
+        }
+        let out = g.run(4);
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+        assert_eq!(out.timings.stages.len(), 16);
+    }
+
+    #[test]
+    fn items_are_recorded() {
+        let mut g = StageGraph::new();
+        g.add_stage_with_items::<Vec<u32>, _>("count", &[], |_| (vec![1, 2, 3], 3));
+        let out = g.run(1);
+        let t = out.timings.stage("count").unwrap();
+        assert_eq!(t.items, 3);
+        assert!(out.timings.stage("missing").is_none());
+    }
+
+    #[test]
+    fn heterogeneous_output_types() {
+        let mut g = StageGraph::new();
+        let s = g.add_stage("string", &[], |_| "hello".to_string());
+        let v = g.add_stage("vec", &[s.index()], move |r| {
+            vec![r.get(s).len()]
+        });
+        let mut out = g.run(2);
+        assert_eq!(out.take(v), vec![5]);
+        assert_eq!(out.take(s), "hello");
+    }
+
+    #[test]
+    #[should_panic(expected = "depends on a later stage")]
+    fn forward_dependencies_are_rejected() {
+        let mut g = StageGraph::new();
+        g.add_stage::<u8, _>("bad", &[3], |_| 0);
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let mut g = StageGraph::new();
+        let a = g.add_stage("only", &[], |_| 1u8);
+        let mut out = g.run(0);
+        assert_eq!(out.take(a), 1);
+        assert!(out.timings.threads >= 1);
+    }
+}

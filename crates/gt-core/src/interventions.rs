@@ -12,7 +12,7 @@
 
 use crate::payments::PaymentAnalysis;
 use gt_addr::Address;
-use gt_cluster::{Category, Clustering, TagService};
+use gt_cluster::{Category, ClusterView, TagResolver};
 use gt_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -53,8 +53,8 @@ impl InterventionOutcome {
 /// paper calls this a bottleneck rather than a fix).
 pub fn exchange_blocklist(
     analyses: &[&PaymentAnalysis],
-    tags: &TagService,
-    clustering: &mut Clustering,
+    tags: &TagResolver,
+    clustering: &ClusterView,
     lag: SimDuration,
 ) -> InterventionOutcome {
     // First observed payment time per recipient address.
@@ -99,8 +99,8 @@ pub fn exchange_blocklist(
 /// Sweep the intervention over several detection lags.
 pub fn lag_sweep(
     analyses: &[&PaymentAnalysis],
-    tags: &TagService,
-    clustering: &mut Clustering,
+    tags: &TagResolver,
+    clustering: &ClusterView,
     lags: &[SimDuration],
 ) -> Vec<InterventionOutcome> {
     lags.iter()
@@ -114,6 +114,7 @@ mod tests {
     use crate::payments::{IsolatedPayment, PaymentFunnel, RevenueRow};
     use gt_addr::{BtcAddress, Coin};
     use gt_chain::{Amount, BtcLedger, Transfer, TxRef};
+    use gt_cluster::TagService;
 
     fn addr(b: u8) -> Address {
         Address::Btc(BtcAddress::P2pkh([b; 20]))
@@ -154,21 +155,22 @@ mod tests {
         }
     }
 
-    fn setup_tags() -> (TagService, Clustering) {
+    fn setup_tags() -> (TagResolver, ClusterView) {
         let mut tags = TagService::new();
         tags.tag(addr(1), Category::Exchange); // sender 1 is an exchange
-        (tags, Clustering::build(&BtcLedger::new()))
+        let clustering = ClusterView::build(&BtcLedger::new());
+        (tags.resolver(&clustering), clustering)
     }
 
     #[test]
     fn zero_lag_blocks_all_but_the_first_exchange_payment() {
-        let (tags, mut clustering) = setup_tags();
+        let (tags, clustering) = setup_tags();
         let a = analysis(vec![
             payment(1, 9, 100.0, 1_000), // first: defines detection, blocked at lag 0
             payment(1, 9, 200.0, 2_000), // blocked
             payment(2, 9, 400.0, 3_000), // self-custody: never blocked
         ]);
-        let out = exchange_blocklist(&[&a], &tags, &mut clustering, SimDuration::ZERO);
+        let out = exchange_blocklist(&[&a], &tags, &clustering, SimDuration::ZERO);
         // With zero lag even the first payment is "blocked" (time >= first).
         assert_eq!(out.blocked, 2);
         assert_eq!(out.prevented_usd, 300.0);
@@ -178,7 +180,7 @@ mod tests {
 
     #[test]
     fn longer_lag_prevents_less() {
-        let (tags, mut clustering) = setup_tags();
+        let (tags, clustering) = setup_tags();
         let a = analysis(vec![
             payment(1, 9, 100.0, 0),
             payment(1, 9, 100.0, 3_600),
@@ -188,7 +190,7 @@ mod tests {
         let sweep = lag_sweep(
             &[&a],
             &tags,
-            &mut clustering,
+            &clustering,
             &[
                 SimDuration::ZERO,
                 SimDuration::hours(2),
@@ -207,10 +209,10 @@ mod tests {
 
     #[test]
     fn self_custody_payments_cap_the_intervention() {
-        let (tags, mut clustering) = setup_tags();
+        let (tags, clustering) = setup_tags();
         // All payments from self-custody wallets: nothing preventable.
         let a = analysis(vec![payment(2, 9, 500.0, 0), payment(3, 9, 500.0, 10)]);
-        let out = exchange_blocklist(&[&a], &tags, &mut clustering, SimDuration::ZERO);
+        let out = exchange_blocklist(&[&a], &tags, &clustering, SimDuration::ZERO);
         assert_eq!(out.blocked, 0);
         assert_eq!(out.prevented_fraction(), 0.0);
     }

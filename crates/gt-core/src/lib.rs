@@ -19,6 +19,7 @@
 //! * [`report`] — the paper-vs-measured experiment report.
 
 pub mod currencies;
+pub mod executor;
 pub mod datasets;
 pub mod discover;
 pub mod fig5;
@@ -31,5 +32,8 @@ pub mod timeline;
 pub mod validate;
 pub mod victims;
 
-pub use pipeline::{run_paper_pipeline, PaperRun};
+pub use executor::{StageGraph, StageId, StageOutputs, StageResults, StageTiming, StageTimings};
+pub use pipeline::{ChainAnalysis, PaperRun, Pipeline, PipelineOptions};
+#[allow(deprecated)]
+pub use pipeline::run_paper_pipeline;
 pub use report::PaperReport;

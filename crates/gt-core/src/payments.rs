@@ -3,7 +3,7 @@
 use crate::datasets::{TwitterDataset, YouTubeDataset};
 use gt_addr::{Address, Coin};
 use gt_chain::{ChainView, Transfer};
-use gt_cluster::{Category, Clustering, TagService};
+use gt_cluster::{Category, ClusterView, TagResolver};
 use gt_price::PriceOracle;
 use gt_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -86,21 +86,25 @@ impl PaymentAnalysis {
 fn is_known_scam(
     sender: &Address,
     known_scam_addresses: &HashSet<Address>,
-    tags: &TagService,
-    clustering: &mut Clustering,
+    tags: &TagResolver,
+    clustering: &ClusterView,
 ) -> bool {
     known_scam_addresses.contains(sender)
         || tags.category(*sender, clustering) == Some(Category::Scam)
 }
 
+/// One isolation input: a domain, its displayed addresses, and the
+/// co-occurrence windows attached to it.
+type DomainWindows = (String, Vec<Address>, Vec<(SimTime, SimTime)>);
+
 /// Shared isolation logic over (domain, addresses, windows) triples.
 #[allow(clippy::too_many_arguments)]
 fn isolate(
-    domains: Vec<(String, Vec<Address>, Vec<(SimTime, SimTime)>)>,
+    domains: Vec<DomainWindows>,
     chains: &ChainView,
     prices: &PriceOracle,
-    tags: &TagService,
-    clustering: &mut Clustering,
+    tags: &TagResolver,
+    clustering: &ClusterView,
     known_scam_addresses: &HashSet<Address>,
 ) -> PaymentAnalysis {
     let mut payments = Vec::new();
@@ -197,8 +201,8 @@ pub fn analyze_twitter(
     dataset: &TwitterDataset,
     chains: &ChainView,
     prices: &PriceOracle,
-    tags: &TagService,
-    clustering: &mut Clustering,
+    tags: &TagResolver,
+    clustering: &ClusterView,
     known_scam_addresses: &HashSet<Address>,
 ) -> PaymentAnalysis {
     analyze_twitter_with_window(
@@ -220,8 +224,8 @@ pub fn analyze_twitter_with_window(
     window: gt_sim::SimDuration,
     chains: &ChainView,
     prices: &PriceOracle,
-    tags: &TagService,
-    clustering: &mut Clustering,
+    tags: &TagResolver,
+    clustering: &ClusterView,
     known_scam_addresses: &HashSet<Address>,
 ) -> PaymentAnalysis {
     let domains = dataset
@@ -245,8 +249,8 @@ pub fn analyze_youtube(
     dataset: &YouTubeDataset,
     chains: &ChainView,
     prices: &PriceOracle,
-    tags: &TagService,
-    clustering: &mut Clustering,
+    tags: &TagResolver,
+    clustering: &ClusterView,
     known_scam_addresses: &HashSet<Address>,
 ) -> PaymentAnalysis {
     let domains = dataset
@@ -273,6 +277,7 @@ mod tests {
     use super::*;
     use gt_addr::BtcAddress;
     use gt_chain::Amount;
+    use gt_cluster::TagService;
     use gt_sim::RngFactory;
 
     fn addr(b: u8) -> Address {
@@ -310,13 +315,13 @@ mod tests {
         windows: Vec<(SimTime, SimTime)>,
         known: &HashSet<Address>,
     ) -> PaymentAnalysis {
-        let mut clustering = Clustering::build(&chains.btc);
+        let clustering = ClusterView::build(&chains.btc);
         isolate(
             vec![("scam.com".into(), vec![addr(9)], windows)],
             chains,
             prices,
-            tags,
-            &mut clustering,
+            &tags.resolver(&clustering),
+            &clustering,
             known,
         )
     }

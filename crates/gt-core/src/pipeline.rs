@@ -1,13 +1,29 @@
 //! End-to-end orchestration: run the paper's entire measurement and
 //! analysis pipeline over a generated world.
+//!
+//! The pipeline is expressed as a dependency DAG of stages executed by
+//! [`StageGraph`](crate::executor::StageGraph) on a scoped worker pool:
+//!
+//! ```text
+//! twitter_dataset ─┬────────────────────────────┬─▶ twitter_payments ─┬─▶ victims/scammers
+//! pilot_monitor ───┼─▶ qr_pilot, fig5           │                     │   interventions
+//! main_monitor ────┼─▶ youtube_dataset ─┬───────┴─▶ youtube_payments ─┘
+//! chain_analysis ──┴─────────────────────┴─▶ (cluster view + tag resolver shared by &ref)
+//! ```
+//!
+//! Entry point: [`Pipeline::new`], configured by [`PipelineOptions`].
+//! Results are identical for any `threads` value; the executor's
+//! [`StageTimings`] land in [`PaperRun::timings`] (never inside
+//! [`PaperReport`], which stays byte-identical across thread counts).
 
 use crate::datasets::{build_twitter_dataset, build_youtube_dataset, Table1};
+use crate::executor::{StageGraph, StageTimings};
 use crate::payments::{analyze_twitter, analyze_youtube, PaymentAnalysis};
 use crate::report::{PaperReport, QrPilotSummary, TwitchSummary};
 use crate::timeline::WeeklySeries;
 use crate::{currencies, discover, fig5, scammers, victims};
 use gt_addr::Address;
-use gt_cluster::Clustering;
+use gt_cluster::{ClusterView, ClusteringOptions, TagResolver};
 use gt_sim::SimDuration;
 use gt_stream::keywords::search_keyword_set;
 use gt_stream::monitor::{Monitor, MonitorConfig, MonitorReport};
@@ -15,6 +31,47 @@ use gt_stream::pilot::{qr_persistence, qr_stats};
 use gt_stream::twitch::run_twitch_pilot;
 use gt_world::World;
 use std::collections::{HashMap, HashSet};
+
+/// Tuning knobs for a pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Worker threads for the stage executor and the sharded cluster
+    /// build. `0` means the machine's available parallelism.
+    pub threads: usize,
+    /// Skip the prospective pilot study (the pilot monitor window, QR
+    /// persistence, and the Figure 5 keyword attribution). The Twitch
+    /// pilot still runs — it is independent and cheap.
+    pub skip_pilot: bool,
+    /// Skip the Section 6.2 exchange-intervention lag sweep.
+    pub skip_interventions: bool,
+    /// Detection lags for the intervention sweep.
+    pub intervention_lags: Vec<SimDuration>,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            threads: 0,
+            skip_pilot: false,
+            skip_interventions: false,
+            intervention_lags: vec![
+                SimDuration::ZERO,
+                SimDuration::hours(1),
+                SimDuration::hours(8),
+                SimDuration::days(1),
+                SimDuration::days(3),
+                SimDuration::days(7),
+            ],
+        }
+    }
+}
+
+/// The frozen blockchain analysis shared (by reference) across stages.
+#[derive(Debug)]
+pub struct ChainAnalysis {
+    pub view: ClusterView,
+    pub resolver: TagResolver,
+}
 
 /// Everything the pipeline produced (intermediates kept for deeper
 /// inspection; the summary lives in [`PaperReport`]).
@@ -26,183 +83,395 @@ pub struct PaperRun {
     pub pilot_report: MonitorReport,
     pub twitter_analysis: PaymentAnalysis,
     pub youtube_analysis: PaymentAnalysis,
+    /// Per-stage wall times and item counts for this run.
+    pub timings: StageTimings,
 }
 
-/// Run the full pipeline.
+/// Builder for a pipeline run over one generated world.
+pub struct Pipeline<'w> {
+    world: &'w World,
+    options: PipelineOptions,
+}
+
+impl<'w> Pipeline<'w> {
+    pub fn new(world: &'w World) -> Self {
+        Pipeline {
+            world,
+            options: PipelineOptions::default(),
+        }
+    }
+
+    /// Replace the whole option set.
+    pub fn options(mut self, options: PipelineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Set the worker-thread count (0 = available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads;
+        self
+    }
+
+    /// Skip the pilot study.
+    pub fn skip_pilot(mut self, skip: bool) -> Self {
+        self.options.skip_pilot = skip;
+        self
+    }
+
+    /// Skip the intervention lag sweep.
+    pub fn skip_interventions(mut self, skip: bool) -> Self {
+        self.options.skip_interventions = skip;
+        self
+    }
+
+    /// Use custom detection lags for the intervention sweep.
+    pub fn intervention_lags(mut self, lags: &[SimDuration]) -> Self {
+        self.options.intervention_lags = lags.to_vec();
+        self
+    }
+
+    /// Run the full pipeline.
+    pub fn run(&self) -> PaperRun {
+        let world = self.world;
+        let config = &world.config;
+        let threads = if self.options.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.options.threads
+        };
+        let skip_pilot = self.options.skip_pilot;
+        let skip_interventions = self.options.skip_interventions;
+        let lags = self.options.intervention_lags.clone();
+
+        let mut g = StageGraph::new();
+
+        // ---- independent roots: datasets, monitors, chain analysis ----
+        let twitter_ds = g.add_stage_with_items("twitter_dataset", &[], move |_| {
+            let ds = build_twitter_dataset(&world.twitter, &world.scam_db);
+            let domains = ds.domains.len() as u64;
+            (ds, domains)
+        });
+
+        let pilot = g.add_stage_with_items("pilot_monitor", &[], move |_| {
+            if skip_pilot {
+                return (MonitorReport::default(), 0);
+            }
+            let monitor = Monitor::new(
+                MonitorConfig::paper(config.pilot_start, config.pilot_end),
+                search_keyword_set(),
+            );
+            let report = monitor.run(&world.youtube, &world.web);
+            let streams = report.streams.len() as u64;
+            (report, streams)
+        });
+
+        let main_monitor = g.add_stage_with_items("main_monitor", &[], move |_| {
+            let monitor = Monitor::new(
+                MonitorConfig::paper(config.youtube_start, config.youtube_end),
+                search_keyword_set(),
+            );
+            let report = monitor.run(&world.youtube, &world.web);
+            let streams = report.streams.len() as u64;
+            (report, streams)
+        });
+
+        let chain = g.add_stage_with_items("chain_analysis", &[], move |_| {
+            let view =
+                ClusterView::build_par(&world.chains.btc, ClusteringOptions::default(), threads);
+            let resolver = world.tags.resolver(&view);
+            let txs = world.chains.btc.tx_count();
+            (ChainAnalysis { view, resolver }, txs)
+        });
+
+        let twitch = g.add_stage("twitch_pilot", &[], move |_| {
+            run_twitch_pilot(&world.twitch, config.pilot_start, config.pilot_end)
+        });
+
+        // ---- dataset assembly and the known-scam address set ----
+        let youtube_ds = g.add_stage_with_items(
+            "youtube_dataset",
+            &[main_monitor.index()],
+            move |r| {
+                let ds = build_youtube_dataset(r.get(main_monitor), &search_keyword_set());
+                let domains = ds.domains.len() as u64;
+                (ds, domains)
+            },
+        );
+
+        let known_scam = g.add_stage(
+            "known_scam_addresses",
+            &[twitter_ds.index(), youtube_ds.index()],
+            move |r| {
+                let mut known: HashSet<Address> = HashSet::new();
+                for d in &r.get(twitter_ds).domains {
+                    known.extend(d.addresses.iter().copied());
+                }
+                for d in &r.get(youtube_ds).domains {
+                    known.extend(d.validation.addresses.iter().copied());
+                }
+                known
+            },
+        );
+
+        // ---- per-platform payment isolation (Sections 5.1–5.3) ----
+        let twitter_an = g.add_stage_with_items(
+            "twitter_payments",
+            &[twitter_ds.index(), chain.index(), known_scam.index()],
+            move |r| {
+                let ca = r.get(chain);
+                let analysis = analyze_twitter(
+                    r.get(twitter_ds),
+                    &world.chains,
+                    &world.prices,
+                    &ca.resolver,
+                    &ca.view,
+                    r.get(known_scam),
+                );
+                let payments = analysis.funnel.payments_any as u64;
+                (analysis, payments)
+            },
+        );
+
+        let youtube_an = g.add_stage_with_items(
+            "youtube_payments",
+            &[youtube_ds.index(), chain.index(), known_scam.index()],
+            move |r| {
+                let ca = r.get(chain);
+                let analysis = analyze_youtube(
+                    r.get(youtube_ds),
+                    &world.chains,
+                    &world.prices,
+                    &ca.resolver,
+                    &ca.view,
+                    r.get(known_scam),
+                );
+                let payments = analysis.funnel.payments_any as u64;
+                (analysis, payments)
+            },
+        );
+
+        // ---- Section 4: lures ----
+        let twitter_weekly = g.add_stage("twitter_weekly", &[twitter_ds.index()], move |r| {
+            WeeklySeries::build(
+                config.twitter_start,
+                config.twitter_end,
+                r.get(twitter_ds)
+                    .domains
+                    .iter()
+                    .flat_map(|d| d.tweet_times.iter().map(|&t| (t, 0u64))),
+            )
+        });
+
+        let youtube_weekly = g.add_stage(
+            "youtube_weekly",
+            &[youtube_ds.index(), main_monitor.index()],
+            move |r| {
+                let observed: HashMap<_, _> = r
+                    .get(main_monitor)
+                    .streams
+                    .iter()
+                    .map(|s| (s.stream, s))
+                    .collect();
+                WeeklySeries::build(
+                    config.youtube_start,
+                    config.youtube_end,
+                    r.get(youtube_ds).scam_streams.iter().filter_map(|sid| {
+                        observed
+                            .get(sid)
+                            .map(|obs| (obs.first_seen, obs.max_total_views))
+                    }),
+                )
+            },
+        );
+
+        let twitter_discover = g.add_stage("twitter_discover", &[twitter_ds.index()], move |r| {
+            discover::twitter_discoverability(r.get(twitter_ds), &world.twitter)
+        });
+        let youtube_discover = g.add_stage(
+            "youtube_discover",
+            &[youtube_ds.index(), main_monitor.index()],
+            move |r| {
+                discover::youtube_discoverability(
+                    r.get(youtube_ds),
+                    r.get(main_monitor),
+                    &search_keyword_set(),
+                )
+            },
+        );
+        let twitter_coins = g.add_stage("twitter_coins", &[twitter_ds.index()], move |r| {
+            currencies::twitter_coin_rates(r.get(twitter_ds), &world.twitter)
+        });
+        let youtube_coins = g.add_stage(
+            "youtube_coins",
+            &[youtube_ds.index(), main_monitor.index()],
+            move |r| currencies::youtube_coin_rates(r.get(youtube_ds), r.get(main_monitor)),
+        );
+
+        // ---- Section 5.4: victims ----
+        let twitter_conversions = g.add_stage(
+            "twitter_conversions",
+            &[twitter_an.index(), twitter_ds.index()],
+            move |r| {
+                victims::conversions(r.get(twitter_an), r.get(twitter_ds).tweet_count as u64)
+            },
+        );
+        let youtube_conversions = g.add_stage(
+            "youtube_conversions",
+            &[youtube_an.index(), youtube_ds.index(), main_monitor.index()],
+            move |r| {
+                let observed: HashMap<_, _> = r
+                    .get(main_monitor)
+                    .streams
+                    .iter()
+                    .map(|s| (s.stream, s))
+                    .collect();
+                let total_views: u64 = r
+                    .get(youtube_ds)
+                    .scam_streams
+                    .iter()
+                    .filter_map(|sid| observed.get(sid).map(|o| o.max_total_views))
+                    .sum();
+                victims::conversions(r.get(youtube_an), total_views)
+            },
+        );
+        let origins = g.add_stage(
+            "payment_origins",
+            &[twitter_an.index(), youtube_an.index(), chain.index()],
+            move |r| {
+                let ca = r.get(chain);
+                victims::payment_origins(
+                    &[r.get(twitter_an), r.get(youtube_an)],
+                    &ca.resolver,
+                    &ca.view,
+                )
+            },
+        );
+        let twitter_whales = g.add_stage("twitter_whales", &[twitter_an.index()], move |r| {
+            victims::whale_distribution(r.get(twitter_an))
+        });
+        let youtube_whales = g.add_stage("youtube_whales", &[youtube_an.index()], move |r| {
+            victims::whale_distribution(r.get(youtube_an))
+        });
+
+        // ---- Section 5.5: scammers ----
+        let recipients = g.add_stage(
+            "recipient_stats",
+            &[twitter_an.index(), youtube_an.index(), chain.index()],
+            move |r| {
+                scammers::recipient_stats(
+                    &[r.get(twitter_an), r.get(youtube_an)],
+                    &r.get(chain).view,
+                )
+            },
+        );
+        let outgoing = g.add_stage(
+            "outgoing_stats",
+            &[twitter_an.index(), youtube_an.index(), chain.index()],
+            move |r| {
+                let ca = r.get(chain);
+                scammers::outgoing_stats(
+                    &[r.get(twitter_an), r.get(youtube_an)],
+                    &world.chains,
+                    &ca.resolver,
+                    &ca.view,
+                )
+            },
+        );
+
+        // ---- Appendix B ----
+        let qr_pilot = g.add_stage("qr_pilot", &[pilot.index()], move |r| {
+            let persistences = qr_persistence(r.get(pilot), SimDuration::seconds(450));
+            qr_stats(&persistences).map(|s| QrPilotSummary {
+                tracked: s.tracked,
+                mean_seconds: s.mean_seconds,
+                median_seconds: s.median_seconds,
+                intermittent: s.intermittent,
+            })
+        });
+        let fig5 = g.add_stage("fig5_keywords", &[pilot.index()], move |r| {
+            fig5::keyword_contribution(r.get(pilot), &search_keyword_set())
+        });
+
+        // ---- Section 6.2 extension: exchange-side intervention sweep ----
+        let interventions = g.add_stage_with_items(
+            "interventions",
+            &[twitter_an.index(), youtube_an.index(), chain.index()],
+            move |r| {
+                if skip_interventions {
+                    return (Vec::new(), 0);
+                }
+                let ca = r.get(chain);
+                let sweep = crate::interventions::lag_sweep(
+                    &[r.get(twitter_an), r.get(youtube_an)],
+                    &ca.resolver,
+                    &ca.view,
+                    &lags,
+                );
+                let n = sweep.len() as u64;
+                (sweep, n)
+            },
+        );
+
+        // ---- execute the DAG and assemble the report ----
+        let mut out = g.run(threads);
+
+        let twitter_dataset = out.take(twitter_ds);
+        let youtube_dataset = out.take(youtube_ds);
+        let monitor_report = out.take(main_monitor);
+        let pilot_report = out.take(pilot);
+        let twitter_analysis = out.take(twitter_an);
+        let youtube_analysis = out.take(youtube_an);
+        let twitch_report = out.take(twitch);
+
+        let report = PaperReport {
+            table1: Table1::new(&twitter_dataset, &youtube_dataset),
+            twitter_revenue: twitter_analysis.revenue,
+            youtube_revenue: youtube_analysis.revenue,
+            twitter_funnel: twitter_analysis.funnel,
+            youtube_funnel: youtube_analysis.funnel,
+            twitter_weekly: out.take(twitter_weekly),
+            youtube_weekly: out.take(youtube_weekly),
+            twitter_discover: out.take(twitter_discover),
+            youtube_discover: out.take(youtube_discover),
+            twitter_coins: out.take(twitter_coins),
+            youtube_coins: out.take(youtube_coins),
+            twitter_conversions: out.take(twitter_conversions),
+            youtube_conversions: out.take(youtube_conversions),
+            origins: out.take(origins),
+            twitter_whales: out.take(twitter_whales),
+            youtube_whales: out.take(youtube_whales),
+            recipients: out.take(recipients),
+            twitter_recipients: scammers::distinct_recipients(&twitter_analysis),
+            youtube_recipients: scammers::distinct_recipients(&youtube_analysis),
+            outgoing: out.take(outgoing),
+            qr_pilot: out.take(qr_pilot),
+            twitch: TwitchSummary {
+                streams_listed: twitch_report.streams_listed,
+                candidates: twitch_report.candidates,
+                scams_found: twitch_report.qr_hits,
+            },
+            fig5: out.take(fig5),
+            interventions: out.take(interventions),
+        };
+
+        PaperRun {
+            report,
+            twitter_dataset,
+            youtube_dataset,
+            monitor_report,
+            pilot_report,
+            twitter_analysis,
+            youtube_analysis,
+            timings: out.timings,
+        }
+    }
+}
+
+/// Run the full pipeline with default options.
+#[deprecated(note = "use `Pipeline::new(world).run()` (optionally with `PipelineOptions`)")]
 pub fn run_paper_pipeline(world: &World) -> PaperRun {
-    let keywords = search_keyword_set();
-    let config = &world.config;
-
-    // ---- Twitter (retrospective) ----
-    let twitter_dataset = build_twitter_dataset(&world.twitter, &world.scam_db);
-
-    // ---- Pilot study (prospective) ----
-    let pilot_monitor = Monitor::new(
-        MonitorConfig::paper(config.pilot_start, config.pilot_end),
-        search_keyword_set(),
-    );
-    let pilot_report = pilot_monitor.run(&world.youtube, &world.web);
-
-    // ---- Main YouTube window (prospective) ----
-    let monitor = Monitor::new(
-        MonitorConfig::paper(config.youtube_start, config.youtube_end),
-        search_keyword_set(),
-    );
-    let monitor_report = monitor.run(&world.youtube, &world.web);
-    let youtube_dataset = build_youtube_dataset(&monitor_report, &keywords);
-
-    // ---- blockchain analysis ----
-    let mut clustering = Clustering::build(&world.chains.btc);
-    // Known scam addresses: everything the two datasets identified.
-    let mut known_scam: HashSet<Address> = HashSet::new();
-    for d in &twitter_dataset.domains {
-        known_scam.extend(d.addresses.iter().copied());
-    }
-    for d in &youtube_dataset.domains {
-        known_scam.extend(d.validation.addresses.iter().copied());
-    }
-
-    let twitter_analysis = analyze_twitter(
-        &twitter_dataset,
-        &world.chains,
-        &world.prices,
-        &world.tags,
-        &mut clustering,
-        &known_scam,
-    );
-    let youtube_analysis = analyze_youtube(
-        &youtube_dataset,
-        &world.chains,
-        &world.prices,
-        &world.tags,
-        &mut clustering,
-        &known_scam,
-    );
-
-    // ---- Section 4: lures ----
-    let twitter_weekly = WeeklySeries::build(
-        config.twitter_start,
-        config.twitter_end,
-        twitter_dataset
-            .domains
-            .iter()
-            .flat_map(|d| d.tweet_times.iter().map(|&t| (t, 0u64))),
-    );
-    let observed: HashMap<_, _> = monitor_report
-        .streams
-        .iter()
-        .map(|s| (s.stream, s))
-        .collect();
-    let youtube_weekly = WeeklySeries::build(
-        config.youtube_start,
-        config.youtube_end,
-        youtube_dataset.scam_streams.iter().filter_map(|sid| {
-            observed
-                .get(sid)
-                .map(|obs| (obs.first_seen, obs.max_total_views))
-        }),
-    );
-
-    let twitter_discover = discover::twitter_discoverability(&twitter_dataset, &world.twitter);
-    let youtube_discover =
-        discover::youtube_discoverability(&youtube_dataset, &monitor_report, &keywords);
-    let twitter_coins = currencies::twitter_coin_rates(&twitter_dataset, &world.twitter);
-    let youtube_coins = currencies::youtube_coin_rates(&youtube_dataset, &monitor_report);
-
-    // ---- Section 5.4: victims ----
-    let total_views: u64 = youtube_dataset
-        .scam_streams
-        .iter()
-        .filter_map(|sid| observed.get(sid).map(|o| o.max_total_views))
-        .sum();
-    let twitter_conversions =
-        victims::conversions(&twitter_analysis, twitter_dataset.tweet_count as u64);
-    let youtube_conversions = victims::conversions(&youtube_analysis, total_views);
-    let origins = victims::payment_origins(
-        &[&twitter_analysis, &youtube_analysis],
-        &world.tags,
-        &mut clustering,
-    );
-    let twitter_whales = victims::whale_distribution(&twitter_analysis);
-    let youtube_whales = victims::whale_distribution(&youtube_analysis);
-
-    // ---- Section 5.5: scammers ----
-    let recipients = scammers::recipient_stats(
-        &[&twitter_analysis, &youtube_analysis],
-        &mut clustering,
-    );
-    let outgoing = scammers::outgoing_stats(
-        &[&twitter_analysis, &youtube_analysis],
-        &world.chains,
-        &world.tags,
-        &mut clustering,
-    );
-
-    // ---- Appendix B ----
-    let persistences = qr_persistence(&pilot_report, SimDuration::seconds(450));
-    let qr_pilot = qr_stats(&persistences).map(|s| QrPilotSummary {
-        tracked: s.tracked,
-        mean_seconds: s.mean_seconds,
-        median_seconds: s.median_seconds,
-        intermittent: s.intermittent,
-    });
-    let twitch_report = run_twitch_pilot(&world.twitch, config.pilot_start, config.pilot_end);
-    let twitch = TwitchSummary {
-        streams_listed: twitch_report.streams_listed,
-        candidates: twitch_report.candidates,
-        scams_found: twitch_report.qr_hits,
-    };
-    let fig5 = fig5::keyword_contribution(&pilot_report, &keywords);
-
-    // ---- Section 6.2 extension: exchange-side intervention sweep ----
-    let interventions = crate::interventions::lag_sweep(
-        &[&twitter_analysis, &youtube_analysis],
-        &world.tags,
-        &mut clustering,
-        &[
-            SimDuration::ZERO,
-            SimDuration::hours(1),
-            SimDuration::hours(8),
-            SimDuration::days(1),
-            SimDuration::days(3),
-            SimDuration::days(7),
-        ],
-    );
-
-    let report = PaperReport {
-        table1: Table1::new(&twitter_dataset, &youtube_dataset),
-        twitter_revenue: twitter_analysis.revenue,
-        youtube_revenue: youtube_analysis.revenue,
-        twitter_funnel: twitter_analysis.funnel,
-        youtube_funnel: youtube_analysis.funnel,
-        twitter_weekly,
-        youtube_weekly,
-        twitter_discover,
-        youtube_discover,
-        twitter_coins,
-        youtube_coins,
-        twitter_conversions,
-        youtube_conversions,
-        origins,
-        twitter_whales,
-        youtube_whales,
-        recipients,
-        twitter_recipients: scammers::distinct_recipients(&twitter_analysis),
-        youtube_recipients: scammers::distinct_recipients(&youtube_analysis),
-        outgoing,
-        qr_pilot,
-        twitch,
-        fig5,
-        interventions,
-    };
-
-    PaperRun {
-        report,
-        twitter_dataset,
-        youtube_dataset,
-        monitor_report,
-        pilot_report,
-        twitter_analysis,
-        youtube_analysis,
-    }
+    Pipeline::new(world).run()
 }

@@ -4,7 +4,7 @@
 use crate::payments::PaymentAnalysis;
 use gt_addr::Address;
 use gt_chain::ChainView;
-use gt_cluster::{Category, Clustering, TagService};
+use gt_cluster::{Category, ClusterView, TagResolver};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
 
@@ -22,7 +22,7 @@ pub struct RecipientStats {
 /// Distinct recipients of the final victim payments, per platform list.
 pub fn recipient_stats(
     analyses: &[&PaymentAnalysis],
-    clustering: &mut Clustering,
+    clustering: &ClusterView,
 ) -> RecipientStats {
     let mut recipients: HashSet<Address> = HashSet::new();
     for analysis in analyses {
@@ -85,8 +85,8 @@ impl OutgoingStats {
 pub fn outgoing_stats(
     analyses: &[&PaymentAnalysis],
     chains: &ChainView,
-    tags: &TagService,
-    clustering: &mut Clustering,
+    tags: &TagResolver,
+    clustering: &ClusterView,
 ) -> OutgoingStats {
     let mut scam_recipients: HashSet<Address> = HashSet::new();
     for analysis in analyses {
@@ -118,6 +118,7 @@ mod tests {
     use super::*;
     use crate::payments::{IsolatedPayment, PaymentFunnel, RevenueRow};
     use gt_addr::{BtcAddress, Coin};
+    use gt_cluster::TagService;
     use gt_chain::{Amount, BtcLedger, Transfer, TxRef};
     use gt_sim::SimTime;
 
@@ -164,9 +165,8 @@ mod tests {
     fn recipients_deduplicate_across_platforms() {
         let a = analysis(vec![payment_to(1), payment_to(2)]);
         let b = analysis(vec![payment_to(2), payment_to(3)]);
-        let ledger = BtcLedger::new();
-        let mut clustering = Clustering::build(&ledger);
-        let stats = recipient_stats(&[&a, &b], &mut clustering);
+        let clustering = ClusterView::build(&BtcLedger::new());
+        let stats = recipient_stats(&[&a, &b], &clustering);
         assert_eq!(stats.recipients, 3);
         assert_eq!(stats.btc_recipients, 3);
         assert_eq!(distinct_recipients(&a), 2);
@@ -183,9 +183,9 @@ mod tests {
         ledger
             .pay(&[addr(2), addr(3)], addr(50), Amount(15_000), addr(2), Amount(0), t)
             .unwrap();
-        let mut clustering = Clustering::build(&ledger);
+        let clustering = ClusterView::build(&ledger);
         let a = analysis(vec![payment_to(1), payment_to(2), payment_to(3)]);
-        let stats = recipient_stats(&[&a], &mut clustering);
+        let stats = recipient_stats(&[&a], &clustering);
         assert_eq!(stats.btc_recipients, 3);
         assert_eq!(stats.btc_singletons, 1);
     }
@@ -207,9 +207,9 @@ mod tests {
             .unwrap();
         let mut tags = TagService::new();
         tags.tag(Address::Btc(addr(60)), Category::Exchange);
-        let mut clustering = Clustering::build(&chains.btc);
+        let clustering = ClusterView::build(&chains.btc);
         let a = analysis(vec![payment_to(9)]);
-        let stats = outgoing_stats(&[&a], &chains, &tags, &mut clustering);
+        let stats = outgoing_stats(&[&a], &chains, &tags.resolver(&clustering), &clustering);
         assert_eq!(stats.recipients, 2);
         assert_eq!(stats.count(Category::Exchange), 1);
         assert_eq!(stats.unlabeled, 1);

@@ -3,7 +3,7 @@
 
 use crate::payments::PaymentAnalysis;
 use gt_addr::Address;
-use gt_cluster::{Category, Clustering, TagService};
+use gt_cluster::{Category, ClusterView, TagResolver};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -43,8 +43,8 @@ pub struct PaymentOrigins {
 /// service (with BTC cluster propagation).
 pub fn payment_origins(
     analyses: &[&PaymentAnalysis],
-    tags: &TagService,
-    clustering: &mut Clustering,
+    tags: &TagResolver,
+    clustering: &ClusterView,
 ) -> PaymentOrigins {
     let mut payments = 0usize;
     let mut from_exchange = 0usize;

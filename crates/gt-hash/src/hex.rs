@@ -13,7 +13,7 @@ pub fn to_hex(bytes: &[u8]) -> String {
 /// Decode a hex string (case-insensitive). Returns `None` on odd length or
 /// non-hex characters.
 pub fn from_hex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let bytes = s.as_bytes();

@@ -38,7 +38,7 @@ pub fn decode_format(raw: u16) -> Option<(EcLevel, u8)> {
         for mask in 0..8u8 {
             let valid = encode_format(level, mask);
             let distance = (valid ^ raw).count_ones();
-            if best.map_or(true, |(d, _, _)| distance < d) {
+            if best.is_none_or(|(d, _, _)| distance < d) {
                 best = Some((distance, level, mask));
             }
         }
@@ -62,7 +62,7 @@ pub fn decode_version(raw: u32) -> Option<u8> {
     for version in 7..=40u8 {
         let valid = encode_version(version);
         let distance = (valid ^ (raw & 0x3ffff)).count_ones();
-        if best.map_or(true, |(d, _)| distance < d) {
+        if best.is_none_or(|(d, _)| distance < d) {
             best = Some((distance, version));
         }
     }

@@ -95,8 +95,7 @@ impl Matrix {
         let centers = alignment_positions(version);
         for &r in centers {
             for &c in centers {
-                let near_finder = (r < 9 && c < 9)
-                    || (r < 9 && c > size - 10)
+                let near_finder = (r < 9 && (c < 9 || c > size - 10))
                     || (r > size - 10 && c < 9);
                 if near_finder {
                     continue;
@@ -277,14 +276,14 @@ impl Matrix {
 /// Mask predicate: whether (row, col) flips under mask `mask`.
 pub fn mask_bit(mask: u8, r: usize, c: usize) -> bool {
     match mask {
-        0 => (r + c) % 2 == 0,
-        1 => r % 2 == 0,
-        2 => c % 3 == 0,
-        3 => (r + c) % 3 == 0,
-        4 => (r / 2 + c / 3) % 2 == 0,
+        0 => (r + c).is_multiple_of(2),
+        1 => r.is_multiple_of(2),
+        2 => c.is_multiple_of(3),
+        3 => (r + c).is_multiple_of(3),
+        4 => (r / 2 + c / 3).is_multiple_of(2),
         5 => (r * c) % 2 + (r * c) % 3 == 0,
-        6 => ((r * c) % 2 + (r * c) % 3) % 2 == 0,
-        7 => ((r + c) % 2 + (r * c) % 3) % 2 == 0,
+        6 => ((r * c) % 2 + (r * c) % 3).is_multiple_of(2),
+        7 => ((r + c) % 2 + (r * c) % 3).is_multiple_of(2),
         _ => panic!("mask {mask} out of range"),
     }
 }

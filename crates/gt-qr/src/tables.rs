@@ -87,7 +87,7 @@ impl BlockSpec {
         self.groups
             .iter()
             .flatten()
-            .flat_map(|g| std::iter::repeat((g.data_len, g.ec_len)).take(g.count))
+            .flat_map(|g| std::iter::repeat_n((g.data_len, g.ec_len), g.count))
     }
 }
 
@@ -193,7 +193,7 @@ pub fn symbol_size(version: u8) -> usize {
 
 /// Version for a symbol side length, if valid.
 pub fn version_for_size(size: usize) -> Option<u8> {
-    if size < 21 || (size - 17) % 4 != 0 {
+    if size < 21 || !(size - 17).is_multiple_of(4) {
         return None;
     }
     let v = ((size - 17) / 4) as u8;

@@ -161,7 +161,7 @@ fn content_frame(stream: &TwitchStream, at: SimTime) -> Frame {
         if let Ok(matrix) = encode(qr_url.as_bytes(), EcLevel::M) {
             let scale = (*qr_scale).max(1);
             let span = matrix.size() * scale + 8 * scale;
-            if span + 10 <= FRAME_W && span + 10 <= FRAME_H {
+            if span + 10 <= FRAME_W.min(FRAME_H) {
                 frame.paint_qr(&matrix, FRAME_W - span - 5, FRAME_H - span - 5, scale);
             }
         }

@@ -137,15 +137,17 @@ pub struct ApiCallCounts {
 }
 
 /// The YouTube platform.
+/// Lazily built (start, id) rows sorted by start time, plus the maximum
+/// stream duration, so `live_at` queries touch only plausible candidates
+/// instead of scanning the whole population on every poll.
+type LiveIndex = (Vec<(SimTime, LiveStreamId)>, SimDuration);
+
 #[derive(Debug, Default)]
 pub struct YouTube {
     channels: Vec<Channel>,
     streams: Vec<LiveStream>,
     calls: Mutex<ApiCallCounts>,
-    /// Lazily built (start, id) index plus the maximum stream duration,
-    /// so `live_at` queries touch only plausible candidates instead of
-    /// scanning the whole population on every poll.
-    live_index: Mutex<Option<(Vec<(SimTime, LiveStreamId)>, SimDuration)>>,
+    live_index: Mutex<Option<LiveIndex>>,
 }
 
 /// A search result row (what the search endpoint exposes).
@@ -335,7 +337,7 @@ fn render_frame(stream: &LiveStream, at: SimTime) -> Frame {
     let phase = (at - stream.start).as_seconds() as usize;
     for y in 0..40 {
         for x in 0..FRAME_W {
-            if (x + y * 3 + phase) % 11 == 0 {
+            if (x + y * 3 + phase).is_multiple_of(11) {
                 frame.set(x, y, 40);
             }
         }

@@ -79,24 +79,25 @@ pub fn scan_address_candidates(text: &str) -> Vec<AddressCandidate> {
         }
 
         // BTC bech32: "bc1" + 11..=87 charset chars.
-        if (c == 'b' || c == 'B') && bytes.len() - i >= 14 {
-            if bytes[i..i + 3].eq_ignore_ascii_case(b"bc1") {
-                let run_len = text[i + 3..]
-                    .chars()
-                    .take_while(|&ch| in_alphabet(BECH32_CHARSET, ch.to_ascii_lowercase()) || ch.is_ascii_digit())
-                    .count();
-                let total = 3 + run_len;
-                if (14..=90).contains(&total)
-                    && (i + total == bytes.len() || !is_word_char(bytes[i + total]))
-                {
-                    out.push(AddressCandidate {
-                        kind: CandidateKind::Bech32Btc,
-                        text: text[i..i + total].to_string(),
-                        start: i,
-                    });
-                    i += total;
-                    continue;
-                }
+        if (c == 'b' || c == 'B')
+            && bytes.len() - i >= 14
+            && bytes[i..i + 3].eq_ignore_ascii_case(b"bc1")
+        {
+            let run_len = text[i + 3..]
+                .chars()
+                .take_while(|&ch| in_alphabet(BECH32_CHARSET, ch.to_ascii_lowercase()) || ch.is_ascii_digit())
+                .count();
+            let total = 3 + run_len;
+            if (14..=90).contains(&total)
+                && (i + total == bytes.len() || !is_word_char(bytes[i + total]))
+            {
+                out.push(AddressCandidate {
+                    kind: CandidateKind::Bech32Btc,
+                    text: text[i..i + total].to_string(),
+                    start: i,
+                });
+                i += total;
+                continue;
             }
         }
 

@@ -317,8 +317,10 @@ mod tests {
             },
             None,
         );
-        let mut config = CrawlerConfig::default();
-        config.clickthrough = false;
+        let config = CrawlerConfig {
+            clickthrough: false,
+            ..Default::default()
+        };
         let crawler = Crawler::new(config);
         assert_eq!(
             crawler.crawl(&host, &url(), t(10)),
@@ -335,8 +337,10 @@ mod tests {
             },
             None,
         );
-        let mut config = CrawlerConfig::default();
-        config.cloudflare_verified = false;
+        let config = CrawlerConfig {
+            cloudflare_verified: false,
+            ..Default::default()
+        };
         let crawler = Crawler::new(config);
         assert_eq!(crawler.crawl(&host, &url(), t(10)), CrawlOutcome::Challenged);
     }

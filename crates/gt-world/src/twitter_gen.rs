@@ -253,9 +253,9 @@ pub fn generate_tweets(
         None,
     );
 
-    for week in 0..weeks {
+    for (week, &week_tweets) in per_week.iter().enumerate().take(weeks) {
         let week_start = config.twitter_start + SimDuration::weeks(week as i64);
-        for _ in 0..per_week[week] {
+        for _ in 0..week_tweets {
             let time = week_start + SimDuration::seconds(rng.gen_range(0..7 * 86_400));
             let combo_idx = sample_weighted(&mut rng, &combo_weights);
             let coins = COIN_COMBOS[combo_idx].0;

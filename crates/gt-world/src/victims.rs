@@ -250,11 +250,43 @@ pub fn generate(
 
     // ---- plan co-occurring victim payments ----
     let mut intents: Vec<Intent> = Vec::new();
+    let coins = [Coin::Btc, Coin::Eth, Coin::Xrp];
+
+    // A coin no productive domain displays can never be paid; at small
+    // scales this happens routinely. Fold such a coin's mix weight and
+    // revenue target into the covered coins so the payment count and
+    // total revenue still land on target.
+    let covered: Vec<bool> = coins
+        .iter()
+        .map(|&c| productive.iter().any(|&d| domains[d].address_for(c).is_some()))
+        .collect();
+    let mut mix = targets.mix;
+    let mut revenue_usd = targets.revenue_usd;
+    if covered.iter().any(|&c| !c) {
+        let lost_revenue: f64 = (0..3).filter(|&i| !covered[i]).map(|i| revenue_usd[i]).sum();
+        for i in 0..3 {
+            if !covered[i] {
+                mix[i] = 0.0;
+                revenue_usd[i] = 0.0;
+            }
+        }
+        let kept_revenue: f64 = revenue_usd.iter().sum();
+        let n_covered = covered.iter().filter(|&&c| c).count().max(1);
+        for i in 0..3 {
+            if covered[i] {
+                revenue_usd[i] += if kept_revenue > 0.0 {
+                    lost_revenue * revenue_usd[i] / kept_revenue
+                } else {
+                    lost_revenue / n_covered as f64
+                };
+            }
+        }
+    }
+
     let mut coin_counts = [0usize; 3];
     for _ in 0..targets.payments {
-        coin_counts[sample_weighted(&mut rng, &targets.mix)] += 1;
+        coin_counts[sample_weighted(&mut rng, &mix)] += 1;
     }
-    let coins = [Coin::Btc, Coin::Eth, Coin::Xrp];
 
     // Per-coin amount queues: each coin's amounts already sum to that
     // coin's Table 2 revenue target, so a payment must only ever be
@@ -265,7 +297,7 @@ pub fn generate(
         .map(|(ci, _)| {
             draw_amounts(
                 coin_counts[ci],
-                targets.revenue_usd[ci],
+                revenue_usd[ci],
                 targets.sigma,
                 &mut rng,
             )

@@ -6,7 +6,7 @@
 //! SCALE=1.0 cargo run --release --example quickstart  # paper scale
 //! ```
 
-use givetake::core::run_paper_pipeline;
+use givetake::core::Pipeline;
 use givetake::world::{World, WorldConfig};
 
 fn main() {
@@ -31,7 +31,7 @@ fn main() {
     );
 
     eprintln!("running the measurement pipeline ...");
-    let run = run_paper_pipeline(&world);
+    let run = Pipeline::new(&world).run();
     let r = &run.report;
 
     println!("== Table 1: datasets ==");

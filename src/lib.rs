@@ -16,14 +16,16 @@
 //!
 //! ```
 //! use givetake::world::{World, WorldConfig};
-//! use givetake::core::run_paper_pipeline;
+//! use givetake::core::Pipeline;
 //!
 //! // A down-scaled world keeps the doctest fast; use
 //! // `WorldConfig::default()` for the paper-scale run.
 //! let world = World::generate(WorldConfig::test_small());
-//! let run = run_paper_pipeline(&world);
+//! let run = Pipeline::new(&world).run();
 //! assert!(run.report.table1.twitter_artifacts > 0);
 //! assert!(run.report.twitter_revenue.usd_co_occurring > 0.0);
+//! // Stage wall times for the run (never part of the report itself):
+//! assert_eq!(run.timings.stages.len(), 25);
 //! ```
 
 pub use gt_addr as addr;

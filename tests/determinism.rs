@@ -1,0 +1,108 @@
+//! Thread-count invariance: the parallel pipeline must be a pure
+//! scheduling optimization. For one seed, a single-threaded run and
+//! multi-threaded runs must produce byte-identical `PaperReport` JSON —
+//! same stage outputs, same sharded clustering, same tag resolution.
+
+use givetake::core::{Pipeline, PipelineOptions};
+use givetake::world::{World, WorldConfig};
+use std::sync::OnceLock;
+
+fn world() -> &'static World {
+    static W: OnceLock<World> = OnceLock::new();
+    W.get_or_init(|| {
+        let mut config = WorldConfig::scaled(0.03);
+        config.seed = 0xDE7E_12F1;
+        World::generate(config)
+    })
+}
+
+fn report_json(threads: usize) -> String {
+    let run = Pipeline::new(world()).threads(threads).run();
+    assert_eq!(run.timings.threads, threads);
+    serde_json::to_string(&run.report).expect("report serializes")
+}
+
+#[test]
+fn report_is_byte_identical_across_thread_counts() {
+    let serial = report_json(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            report_json(threads),
+            serial,
+            "{threads}-thread report diverged from the single-threaded run"
+        );
+    }
+}
+
+#[test]
+fn options_equivalents_match() {
+    // The builder setters and a hand-built PipelineOptions are the same.
+    let via_setters = Pipeline::new(world()).threads(2).run();
+    let via_options = Pipeline::new(world())
+        .options(PipelineOptions {
+            threads: 2,
+            ..PipelineOptions::default()
+        })
+        .run();
+    assert_eq!(via_setters.report, via_options.report);
+}
+
+#[test]
+fn skip_flags_only_affect_their_sections() {
+    let full = Pipeline::new(world()).threads(2).run();
+    let skipped = Pipeline::new(world())
+        .threads(2)
+        .skip_pilot(true)
+        .skip_interventions(true)
+        .run();
+
+    assert!(skipped.report.qr_pilot.is_none(), "pilot skipped");
+    assert!(skipped.report.interventions.is_empty(), "sweep skipped");
+    assert!(skipped.pilot_report.streams.is_empty());
+    // Everything else is untouched.
+    assert_eq!(skipped.report.table1, full.report.table1);
+    assert_eq!(skipped.report.twitter_funnel, full.report.twitter_funnel);
+    assert_eq!(skipped.report.youtube_funnel, full.report.youtube_funnel);
+    assert_eq!(skipped.report.origins, full.report.origins);
+    assert_eq!(skipped.report.recipients, full.report.recipients);
+    assert_eq!(skipped.report.twitch, full.report.twitch);
+}
+
+#[test]
+fn custom_intervention_lags_are_honored() {
+    let lags = [
+        givetake::sim::SimDuration::ZERO,
+        givetake::sim::SimDuration::hours(2),
+    ];
+    let run = Pipeline::new(world())
+        .threads(2)
+        .intervention_lags(&lags)
+        .run();
+    assert_eq!(run.report.interventions.len(), 2);
+    assert_eq!(run.report.interventions[0].lag_seconds, 0);
+    assert_eq!(run.report.interventions[1].lag_seconds, 7_200);
+}
+
+#[test]
+fn timings_cover_every_stage() {
+    let run = Pipeline::new(world()).threads(2).run();
+    let t = &run.timings;
+    assert!(t.total_ms > 0.0);
+    for name in [
+        "twitter_dataset",
+        "pilot_monitor",
+        "main_monitor",
+        "chain_analysis",
+        "youtube_dataset",
+        "twitter_payments",
+        "youtube_payments",
+        "interventions",
+    ] {
+        let stage = t.stage(name).unwrap_or_else(|| panic!("stage {name} timed"));
+        assert!(stage.wall_ms >= 0.0);
+    }
+    assert!(
+        t.stage("chain_analysis").unwrap().items > 0,
+        "clustering counted its transactions"
+    );
+}

@@ -3,7 +3,7 @@
 //! Wilder) must recover far more exchange exposure than the 4% of
 //! direct cash-out edges.
 
-use givetake::cluster::{aggregate_exposure, Category, Clustering};
+use givetake::cluster::{aggregate_exposure, Category, ClusterView};
 use givetake::world::truth::Platform;
 use givetake::world::{World, WorldConfig};
 use std::sync::OnceLock;
@@ -20,7 +20,8 @@ fn world() -> &'static World {
 #[test]
 fn multi_hop_tracing_uncovers_indirect_exchange_exposure() {
     let w = world();
-    let mut clustering = Clustering::build(&w.chains.btc);
+    let clustering = ClusterView::build(&w.chains.btc);
+    let tags = w.tags.resolver(&clustering);
 
     // Scam recipient addresses (where victims paid).
     let sources: Vec<givetake::addr::Address> = w
@@ -35,11 +36,11 @@ fn multi_hop_tracing_uncovers_indirect_exchange_exposure() {
     assert!(!sources.is_empty());
 
     // Depth 1: only direct edges — mostly unresolved (87% unlabeled).
-    let direct = aggregate_exposure(&sources, &w.chains, &w.tags, &mut clustering, 1);
+    let direct = aggregate_exposure(&sources, &w.chains, &tags, &clustering, 1);
     let direct_exchange = direct.share(Category::Exchange);
 
     // Depth 4: funds followed through the intermediaries.
-    let deep = aggregate_exposure(&sources, &w.chains, &w.tags, &mut clustering, 4);
+    let deep = aggregate_exposure(&sources, &w.chains, &tags, &clustering, 4);
     let deep_exchange = deep.share(Category::Exchange);
 
     assert!(
@@ -56,7 +57,8 @@ fn multi_hop_tracing_uncovers_indirect_exchange_exposure() {
 #[test]
 fn tracing_covers_both_platforms() {
     let w = world();
-    let mut clustering = Clustering::build(&w.chains.btc);
+    let clustering = ClusterView::build(&w.chains.btc);
+    let tags = w.tags.resolver(&clustering);
     for platform in [Platform::Twitter, Platform::YouTube] {
         let sources: Vec<givetake::addr::Address> = w
             .truth
@@ -66,7 +68,7 @@ fn tracing_covers_both_platforms() {
             .collect::<std::collections::HashSet<_>>()
             .into_iter()
             .collect();
-        let exposure = aggregate_exposure(&sources, &w.chains, &w.tags, &mut clustering, 4);
+        let exposure = aggregate_exposure(&sources, &w.chains, &tags, &clustering, 4);
         let total: f64 = exposure.by_category.values().sum::<f64>() + exposure.unresolved;
         assert!(total > 0.0, "{platform:?} has traced value");
         assert!(

@@ -1,7 +1,7 @@
 //! Ablation-style integration tests: the pipeline's design choices
 //! must actually matter, and the whole run must be deterministic.
 
-use givetake::core::run_paper_pipeline;
+use givetake::core::Pipeline;
 use givetake::sim::SimDuration;
 use givetake::stream::keywords::search_keyword_set;
 use givetake::stream::monitor::{Monitor, MonitorConfig};
@@ -21,8 +21,8 @@ fn world() -> &'static World {
 #[test]
 fn full_pipeline_is_deterministic() {
     let w = world();
-    let a = run_paper_pipeline(w);
-    let b = run_paper_pipeline(w);
+    let a = Pipeline::new(w).run();
+    let b = Pipeline::new(w).run();
     assert_eq!(a.report, b.report);
 }
 
@@ -79,7 +79,8 @@ fn co_occurrence_window_sweep_is_monotone() {
     let w = world();
     let dataset = givetake::core::datasets::build_twitter_dataset(&w.twitter, &w.scam_db);
     let known = std::collections::HashSet::new();
-    let mut clustering = givetake::cluster::Clustering::build(&w.chains.btc);
+    let clustering = givetake::cluster::ClusterView::build(&w.chains.btc);
+    let tags = w.tags.resolver(&clustering);
     let mut previous = 0;
     let mut counts = Vec::new();
     for days in [0i64, 1, 3, 7, 30] {
@@ -88,8 +89,8 @@ fn co_occurrence_window_sweep_is_monotone() {
             SimDuration::days(days),
             &w.chains,
             &w.prices,
-            &w.tags,
-            &mut clustering,
+            &tags,
+            &clustering,
             &known,
         );
         let n = analysis.funnel.payments_co_occurring_raw;

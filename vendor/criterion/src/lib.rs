@@ -1,0 +1,122 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Provides `Criterion::bench_function`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Instead of upstream's
+//! statistical engine it runs a short calibrated loop and prints the mean
+//! wall time per iteration — enough to compare configurations by hand.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time to spend measuring each benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(400);
+
+pub struct Criterion {
+    measure_target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_target: MEASURE_TARGET,
+        }
+    }
+}
+
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibrate: run single iterations until we know roughly how long
+        // one takes, then size the measured batch to the target budget.
+        let mut probe = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut probe);
+        let per_iter = probe.elapsed.max(Duration::from_nanos(1));
+        let iterations = (self.measure_target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut bencher = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let mean = bencher.elapsed / bencher.iterations.max(1) as u32;
+        println!(
+            "bench: {name:<48} {:>12} / iter ({} iters)",
+            format_duration(mean),
+            bencher.iterations
+        );
+        self
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion {
+            measure_target: Duration::from_millis(5),
+        };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        c.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Offline, API-compatible subset of `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` with the 0.8 calling convention
+//! (closure receives a `Scope` it can spawn from; `scope(..)` returns a
+//! `Result` that is `Err` when any spawned thread panicked), implemented
+//! over `std::thread::scope`.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::thread as std_thread;
+
+    type Payload = Box<dyn Any + Send + 'static>;
+
+    /// Handle to a scope within which scoped threads can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a scoped thread, returned by [`Scope::spawn`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish; `Err` holds the panic payload if
+        /// the thread panicked.
+        pub fn join(self) -> Result<T, Payload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam 0.8, the closure receives
+        /// the scope again so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let sc = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(sc)),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning scoped threads. Returns `Err` if any
+    /// spawned-and-not-joined thread panicked (the payload comes from
+    /// `std::thread::scope`'s own propagation).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Payload>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std_thread::scope(|s| f(Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_see_borrowed_data() {
+        let data = [1u64, 2, 3, 4];
+        let sum = AtomicUsize::new(0);
+        crate::thread::scope(|scope| {
+            for chunk in data.chunks(2) {
+                scope.spawn(|_| {
+                    let s: u64 = chunk.iter().sum();
+                    sum.fetch_add(s as usize, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = crate::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let count = AtomicUsize::new(0);
+        crate::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                count.fetch_add(1, Ordering::Relaxed);
+                inner.spawn(|_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .expect("no panics");
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn join_returns_thread_result() {
+        let r = crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| 21 * 2);
+            h.join().expect("thread ok")
+        })
+        .expect("no panics");
+        assert_eq!(r, 42);
+    }
+}

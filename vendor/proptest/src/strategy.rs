@@ -1,0 +1,340 @@
+//! The `Strategy` trait and its combinators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, map }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut StdRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut StdRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy, as produced by [`Strategy::boxed`].
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn DynStrategy<T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.inner.dyn_generate(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies; backs `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let pick = rng.gen_range(0..self.options.len());
+        self.options[pick].generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-lite string strategies: `"[a-z]{1,10}"` as a Strategy<Value=String>.
+// ---------------------------------------------------------------------------
+
+/// One regex atom together with its repetition bounds.
+#[derive(Debug, Clone)]
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the subset of regex syntax the workspace's tests use: literal
+/// characters, character classes (`[a-z0-9:/.\-]`, `[ -~]`), the `\PC`
+/// printable-character escape, and `{n}` / `{m,n}` quantifiers.
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let alphabet = match c {
+            '[' => parse_class(&mut chars),
+            '\\' => parse_escape(&mut chars),
+            '.' => printable_ascii(),
+            other => vec![other],
+        };
+        let (min, max) = parse_quantifier(&mut chars);
+        atoms.push(Atom {
+            chars: alphabet,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut members = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        match chars.next() {
+            None => panic!("proptest regex-lite: unterminated character class"),
+            Some(']') => {
+                if let Some(p) = pending {
+                    members.push(p);
+                }
+                return members;
+            }
+            Some('\\') => {
+                let escaped = chars.next().expect("escape at end of class");
+                if let Some(p) = pending.replace(escaped) {
+                    members.push(p);
+                }
+            }
+            Some('-') if pending.is_some() && chars.peek() != Some(&']') => {
+                let start = pending.take().unwrap();
+                let end = match chars.next() {
+                    Some('\\') => chars.next().expect("escape at end of class"),
+                    Some(e) => e,
+                    None => panic!("proptest regex-lite: dangling range"),
+                };
+                assert!(start <= end, "proptest regex-lite: inverted range {start}-{end}");
+                members.extend(start..=end);
+            }
+            Some(other) => {
+                if let Some(p) = pending.replace(other) {
+                    members.push(p);
+                }
+            }
+        }
+    }
+}
+
+fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    match chars.next() {
+        Some('P') | Some('p') => {
+            // `\PC` (not-control) / `\pC`: approximate with printable ASCII.
+            let _class = chars.next();
+            printable_ascii()
+        }
+        Some('d') => ('0'..='9').collect(),
+        Some('w') => ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(['_']).collect(),
+        Some('s') => vec![' ', '\t'],
+        Some(literal) => vec![literal],
+        None => panic!("proptest regex-lite: dangling escape"),
+    }
+}
+
+fn printable_ascii() -> Vec<char> {
+    (' '..='~').collect()
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((min, max)) => (
+                    min.trim().parse().expect("bad quantifier min"),
+                    max.trim().parse().expect("bad quantifier max"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad quantifier count");
+                    (n, n)
+                }
+            }
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..count {
+                let pick = rng.gen_range(0..atom.chars.len());
+                out.push(atom.chars[pick]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn class_with_escapes_and_ranges() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z0-9:/.\\-]{8,60}".generate(&mut r);
+            assert!((8..=60).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || ":/.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[ -~]{0,60}".generate(&mut r);
+            assert!(s.len() <= 60);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn pc_escape_is_printable() {
+        let mut r = rng();
+        let s = "\\PC{0,200}".generate(&mut r);
+        assert!(s.len() <= 200);
+        assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut r = rng();
+        let s = "ab[c]{3}".generate(&mut r);
+        assert_eq!(s, "abccc");
+    }
+}

@@ -1,0 +1,228 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! Instead of upstream's visitor-based `Serializer` machinery, this stub
+//! serializes into a small [`Content`] tree that `serde_json` renders.
+//! That covers everything the workspace does with serde: derive
+//! `Serialize`/`Deserialize` on plain data types and feed them to
+//! `serde_json::to_string{,_pretty}`.
+//!
+//! `Deserialize` is a compile-time marker only — nothing in the workspace
+//! deserializes at runtime.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialized value: the common shape JSON and friends render from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+/// A type that can be serialized into a [`Content`] tree.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Marker trait paired with `#[derive(Deserialize)]`. The workspace never
+/// deserializes at runtime, so the trait carries no methods.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+ser_unsigned!(u8, u16, u32, u64, usize);
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl<'de> Deserialize<'de> for f64 {}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+impl<'de> Deserialize<'de> for f32 {}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl<'de> Deserialize<'de> for char {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {}
+    )*};
+}
+
+ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+fn map_key<K: ToString>(key: &K) -> String {
+    key.to_string()
+}
+
+impl<K: ToString + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (map_key(k), v.to_content())).collect())
+    }
+}
+impl<'de, K: ToString + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {}
+
+impl<K: ToString, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        // HashMap iteration order is arbitrary; sort by rendered key so
+        // serialization is deterministic run-to-run.
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (map_key(k), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+impl<'de, K: ToString, V: Deserialize<'de>, S> Deserialize<'de> for HashMap<K, V, S> {}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+impl<'de> Deserialize<'de> for () {}
+
+impl<T> Serialize for std::marker::PhantomData<T> {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+impl<'de, T> Deserialize<'de> for std::marker::PhantomData<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(3u32.to_content(), Content::U64(3));
+        assert_eq!((-4i64).to_content(), Content::I64(-4));
+        assert_eq!(true.to_content(), Content::Bool(true));
+        assert_eq!("hi".to_content(), Content::Str("hi".into()));
+        assert_eq!(None::<u8>.to_content(), Content::Null);
+    }
+
+    #[test]
+    fn hashmap_is_sorted() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2u64);
+        m.insert("a".to_string(), 1u64);
+        let Content::Map(entries) = m.to_content() else {
+            panic!("expected map")
+        };
+        assert_eq!(entries[0].0, "a");
+        assert_eq!(entries[1].0, "b");
+    }
+}

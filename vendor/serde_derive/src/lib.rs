@@ -1,0 +1,377 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the vendored serde stub.
+//!
+//! No `syn`/`quote` available, so this walks the `proc_macro::TokenTree`
+//! stream directly. It understands exactly the item shapes the workspace
+//! derives on: named/tuple/unit structs, enums with unit/newtype/tuple/
+//! struct variants, simple `<T>` generics, and the `#[serde(skip)]` field
+//! attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Consumes a run of `#[...]` attributes; returns true if any of them
+    /// is a `#[serde(skip)]`.
+    fn eat_attrs(&mut self) -> bool {
+        let mut skip = false;
+        while self.eat_punct('#') {
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let text = g.to_string();
+                    if text.contains("serde") && text.contains("skip") {
+                        skip = true;
+                    }
+                }
+                other => panic!("serde_derive: malformed attribute, found {other:?}"),
+            }
+        }
+        skip
+    }
+
+    fn eat_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Consumes tokens of a type (or expression) until a `,` at angle-bracket
+    /// depth zero, leaving the comma unconsumed.
+    fn skip_until_comma(&mut self) {
+        let mut depth = 0i32;
+        while let Some(tok) = self.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => return,
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Parses `<...>` generic parameters into their names (`T`, `'a`, …).
+    fn parse_generics(&mut self) -> Vec<String> {
+        let mut params = Vec::new();
+        if !self.eat_punct('<') {
+            return params;
+        }
+        let mut depth = 1i32;
+        let mut expecting_name = true;
+        while depth > 0 {
+            match self.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 1 => expecting_name = true,
+                    '\'' if depth == 1 && expecting_name => {
+                        let lt = self.expect_ident();
+                        params.push(format!("'{lt}"));
+                        expecting_name = false;
+                    }
+                    _ => {}
+                },
+                Some(TokenTree::Ident(id)) => {
+                    if depth == 1 && expecting_name {
+                        params.push(id.to_string());
+                        expecting_name = false;
+                    }
+                }
+                Some(_) => {}
+                None => panic!("serde_derive: unterminated generics"),
+            }
+        }
+        params
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let skip = c.eat_attrs();
+        c.eat_visibility();
+        let name = c.expect_ident();
+        assert!(c.eat_punct(':'), "serde_derive: expected `:` after field `{name}`");
+        c.skip_until_comma();
+        c.eat_punct(',');
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    while c.peek().is_some() {
+        c.eat_attrs();
+        c.eat_visibility();
+        c.skip_until_comma();
+        c.eat_punct(',');
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        c.eat_attrs();
+        let name = c.expect_ident();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                c.pos += 1;
+                Fields::Tuple(parse_tuple_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                c.pos += 1;
+                Fields::Named(parse_named_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        if c.eat_punct('=') {
+            // Explicit discriminant: skip the expression.
+            c.skip_until_comma();
+        }
+        c.eat_punct(',');
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.eat_attrs();
+    c.eat_visibility();
+    let kind_word = c.expect_ident();
+    let name = c.expect_ident();
+    let generics = c.parse_generics();
+    let kind = match kind_word.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Tuple(parse_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: can only derive on struct/enum, found `{other}`"),
+    };
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+fn generics_decl(item: &Item) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let joined = item.generics.join(", ");
+        (format!("<{joined}>"), format!("<{joined}>"))
+    }
+}
+
+fn named_fields_body(fields: &[Field], accessor: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| {
+            format!(
+                "(\"{0}\".to_string(), serde::Serialize::to_content({1}{0})),",
+                f.name, accessor
+            )
+        })
+        .collect();
+    format!("serde::Content::Map(vec![{}])", entries.concat())
+}
+
+fn emit_serialize(item: &Item) -> String {
+    let (decl, usage) = generics_decl(item);
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => "serde::Content::Null".to_string(),
+        Kind::Struct(Fields::Named(fields)) => named_fields_body(fields, "&self."),
+        Kind::Struct(Fields::Tuple(1)) => "serde::Serialize::to_content(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_content(&self.{i}),"))
+                .collect();
+            format!("serde::Content::Seq(vec![{}])", items.concat())
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => serde::Content::Str(\"{vname}\".to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => serde::Content::Map(vec![(\"{vname}\".to_string(), serde::Serialize::to_content(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_content(f{i}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => serde::Content::Map(vec![(\"{vname}\".to_string(), serde::Content::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.concat()
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds: Vec<String> = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| f.name.clone())
+                                .collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| {
+                                    format!(
+                                        "(\"{0}\".to_string(), serde::Serialize::to_content({0})),",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {}.. }} => serde::Content::Map(vec![(\"{vname}\".to_string(), serde::Content::Map(vec![{}]))]),",
+                                binds.iter().map(|b| format!("{b}, ")).collect::<String>(),
+                                entries.concat()
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.concat())
+        }
+    };
+    format!(
+        "impl{decl} serde::Serialize for {name}{usage} {{ fn to_content(&self) -> serde::Content {{ {body} }} }}"
+    )
+}
+
+fn emit_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let (usage, decl_inner) = if item.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let joined = item.generics.join(", ");
+        (format!("<{joined}>"), format!(", {joined}"))
+    };
+    format!("impl<'de{decl_inner}> serde::Deserialize<'de> for {name}{usage} {{}}")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,198 @@
+//! Offline, API-compatible subset of `serde_json`.
+//!
+//! Renders the vendored serde [`Content`] tree to JSON text. Output is
+//! deterministic: map entries keep their construction order (derived
+//! structs serialize in declaration order, HashMaps are pre-sorted by the
+//! serde stub) and floats render through Rust's shortest-roundtrip
+//! formatter.
+
+use std::fmt;
+
+pub use serde::Content;
+
+/// A JSON value, as produced by the [`json!`] macro.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Value(pub Content);
+
+impl serde::Serialize for Value {
+    fn to_content(&self) -> Content {
+        self.0.clone()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_content(&mut out, &self.0, None, 0);
+        f.write_str(&out)
+    }
+}
+
+/// Serialization error. The content-tree model cannot actually fail, but
+/// the public API keeps upstream's fallible signature.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to human-readable JSON (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_content(out: &mut String, content: &Content, indent: Option<usize>, depth: usize) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(n) => out.push_str(&n.to_string()),
+        Content::I64(n) => out.push_str(&n.to_string()),
+        Content::F64(x) => {
+            if x.is_finite() {
+                // Match upstream: integral floats keep a trailing `.0` so
+                // the value round-trips as a float.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&x.to_string());
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_content(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(out, value, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[doc(hidden)]
+pub fn __to_content<T: serde::Serialize>(value: &T) -> Content {
+    value.to_content()
+}
+
+/// Builds a [`Value`] from a flat JSON-ish literal.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value($crate::Content::Null) };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value($crate::Content::Seq(vec![ $($crate::__to_content(&$item)),* ]))
+    };
+    ({ $($key:tt : $value:expr),* $(,)? }) => {
+        $crate::Value($crate::Content::Map(vec![
+            $(($key.to_string(), $crate::__to_content(&$value)),)*
+        ]))
+    };
+    ($value:expr) => { $crate::Value($crate::__to_content(&$value)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = json!({ "a": 1u64, "b": [1u64, 2u64], "c": "x\"y" });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":1,"b":[1,2],"c":"x\"y"}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering() {
+        let v = json!({ "a": 1u64 });
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn floats_keep_fraction_marker() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.25f64).unwrap(), "0.25");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn option_and_unit() {
+        assert_eq!(to_string(&None::<u8>).unwrap(), "null");
+        assert_eq!(to_string(&Some(3u8)).unwrap(), "3");
+    }
+}
