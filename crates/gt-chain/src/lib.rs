@@ -19,12 +19,14 @@
 
 pub mod btc;
 pub mod eth;
+pub mod rpc;
 pub mod types;
 pub mod view;
 pub mod xrp;
 
 pub use btc::{BtcLedger, BtcTx, OutPoint, TxOut};
 pub use eth::EthLedger;
+pub use rpc::{ChainReads, RpcView};
 pub use types::{Amount, ChainError, Transfer, TxRef};
 pub use view::ChainView;
 pub use xrp::XrpLedger;

@@ -1,0 +1,193 @@
+//! Fault-aware RPC facade over [`ChainView`].
+//!
+//! The real pipeline read address histories through node RPCs that
+//! could time out, rate-limit or die. [`ChainReads`] abstracts "what
+//! the analysis layer asks of a blockchain" so the same analysis code
+//! runs against the raw [`ChainView`] (clean, zero-overhead) or an
+//! [`RpcView`] that consults a [`FaultPlan`] before every read.
+//!
+//! Reads in the analysis layer are not tied to a monitoring tick, so
+//! `RpcView` models the batch backfill the paper ran after collection:
+//! a virtual cursor starts at the analysis epoch and advances a fixed
+//! spacing per read. The cursor exists only to index into the fault
+//! schedule deterministically; served data is always the full history
+//! (snapshot semantics — a denied read returns an empty history, which
+//! can only shrink downstream results).
+
+use crate::types::Transfer;
+use crate::view::ChainView;
+use gt_addr::Address;
+use gt_sim::faults::{DegradationStats, FaultDriver, FaultPlan, RetryPolicy, Substrate};
+use gt_sim::{SimDuration, SimTime};
+use std::cell::{Cell, RefCell};
+
+/// The blockchain query surface the analysis layer depends on.
+pub trait ChainReads {
+    /// All transfers into `address`, in confirmation order.
+    fn incoming(&self, address: Address) -> Vec<Transfer>;
+    /// All transfers out of `address`, in confirmation order.
+    fn outgoing(&self, address: Address) -> Vec<Transfer>;
+}
+
+impl ChainReads for ChainView {
+    fn incoming(&self, address: Address) -> Vec<Transfer> {
+        ChainView::incoming(self, address)
+    }
+
+    fn outgoing(&self, address: Address) -> Vec<Transfer> {
+        ChainView::outgoing(self, address)
+    }
+}
+
+/// Spacing between consecutive RPC reads on the virtual cursor.
+const READ_SPACING: SimDuration = SimDuration::seconds(2);
+
+/// A [`ChainView`] behind a fault-gated RPC boundary.
+///
+/// Interior mutability keeps the `ChainReads` methods `&self` (the
+/// analysis layer reads through shared references); an `RpcView` must
+/// therefore stay within one sequential analysis stage — cloning the
+/// plan into one `RpcView` per stage is the intended use.
+pub struct RpcView<'a> {
+    chains: &'a ChainView,
+    gate: RefCell<FaultDriver<'a>>,
+    cursor: Cell<SimTime>,
+}
+
+impl<'a> RpcView<'a> {
+    /// Gate `chains` behind `plan`, with the read cursor starting at
+    /// `epoch` (typically the end of the collection window: the paper's
+    /// backfill ran after monitoring finished). `label` separates the
+    /// jitter streams of different analysis stages.
+    pub fn new(
+        chains: &'a ChainView,
+        plan: Option<&'a FaultPlan>,
+        label: &str,
+        retry: RetryPolicy,
+        epoch: SimTime,
+    ) -> Self {
+        RpcView {
+            chains,
+            gate: RefCell::new(FaultDriver::new(plan, label, retry)),
+            cursor: Cell::new(epoch),
+        }
+    }
+
+    /// Degradation accounting accumulated by this view's reads.
+    pub fn stats(&self) -> DegradationStats {
+        self.gate.borrow().stats()
+    }
+
+    fn admit(&self) -> bool {
+        let at = self.cursor.get();
+        self.cursor.set(at + READ_SPACING);
+        self.gate
+            .borrow_mut()
+            .admit(Substrate::ChainRpc, at)
+            .is_ok()
+    }
+}
+
+impl ChainReads for RpcView<'_> {
+    fn incoming(&self, address: Address) -> Vec<Transfer> {
+        if self.admit() {
+            self.chains.incoming(address)
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn outgoing(&self, address: Address) -> Vec<Transfer> {
+        if self.admit() {
+            self.chains.outgoing(address)
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Amount;
+    use gt_addr::BtcAddress;
+    use gt_sim::faults::{FaultKind, FaultWindow};
+
+    fn view_with_history() -> (ChainView, Address) {
+        let mut view = ChainView::new();
+        let a = BtcAddress::P2pkh([1; 20]);
+        let b = BtcAddress::P2pkh([2; 20]);
+        view.btc.coinbase(a, Amount(100_000), SimTime(0)).unwrap();
+        view.btc
+            .pay(&[a], b, Amount(50_000), a, Amount(0), SimTime(100))
+            .unwrap();
+        (view, Address::Btc(b))
+    }
+
+    #[test]
+    fn clean_rpc_view_matches_chain_view() {
+        let (view, addr) = view_with_history();
+        let rpc = RpcView::new(
+            &view,
+            None,
+            "test",
+            RetryPolicy::default(),
+            SimTime(1_000),
+        );
+        assert_eq!(rpc.incoming(addr), view.incoming(addr));
+        assert_eq!(rpc.outgoing(addr), view.outgoing(addr));
+        assert!(rpc.stats().is_zero());
+    }
+
+    #[test]
+    fn outage_degrades_reads_to_empty() {
+        let (view, addr) = view_with_history();
+        let mut plan = FaultPlan::quiet(3);
+        plan.schedules.insert(
+            Substrate::ChainRpc,
+            vec![FaultWindow {
+                start: SimTime(0),
+                end: SimTime(i64::MAX),
+                kind: FaultKind::Outage,
+            }],
+        );
+        let rpc = RpcView::new(
+            &view,
+            Some(&plan),
+            "test",
+            RetryPolicy::default(),
+            SimTime(1_000),
+        );
+        assert!(rpc.incoming(addr).is_empty());
+        assert!(!view.incoming(addr).is_empty(), "data exists underneath");
+        assert!(rpc.stats().lost >= 1);
+    }
+
+    #[test]
+    fn cursor_advances_past_short_windows() {
+        let (view, addr) = view_with_history();
+        let mut plan = FaultPlan::quiet(3);
+        // One transient blip at the epoch; later reads are clean.
+        plan.schedules.insert(
+            Substrate::ChainRpc,
+            vec![FaultWindow {
+                start: SimTime(1_000),
+                end: SimTime(1_001),
+                kind: FaultKind::Transient,
+            }],
+        );
+        let rpc = RpcView::new(
+            &view,
+            Some(&plan),
+            "test",
+            RetryPolicy::default(),
+            SimTime(1_000),
+        );
+        // First read hits the blip but retries through it.
+        assert_eq!(rpc.incoming(addr), view.incoming(addr));
+        assert_eq!(rpc.stats().recovered, 1);
+        // Subsequent reads are past the window entirely.
+        assert_eq!(rpc.outgoing(addr), view.outgoing(addr));
+        assert_eq!(rpc.stats().recovered, 1);
+    }
+}

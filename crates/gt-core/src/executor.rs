@@ -15,6 +15,7 @@ use serde::Serialize;
 use std::any::Any;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -178,19 +179,26 @@ impl<'env> StageGraph<'env> {
             remaining: n,
         });
         let wake = Condvar::new();
+        let poison: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
         let stages = &self.stages;
 
         if threads <= 1 || n <= 1 {
-            run_worker(stages, &dependents, &slots, &timings, &sched, &wake);
+            run_worker(stages, &dependents, &slots, &timings, &sched, &wake, &poison);
         } else {
             crossbeam::thread::scope(|scope| {
                 for _ in 0..threads.min(n) {
                     scope.spawn(|_| {
-                        run_worker(stages, &dependents, &slots, &timings, &sched, &wake)
+                        run_worker(stages, &dependents, &slots, &timings, &sched, &wake, &poison)
                     });
                 }
             })
-            .expect("pipeline stage panicked");
+            .expect("executor worker crashed outside a stage body");
+        }
+
+        // A panicking stage poisons the run (workers drain instead of
+        // deadlocking on the condvar); re-raise it on the caller.
+        if let Some(payload) = poison.into_inner().unwrap() {
+            resume_unwind(payload);
         }
 
         StageOutputs {
@@ -223,6 +231,7 @@ fn run_worker(
     timings: &[OnceLock<StageTiming>],
     sched: &Mutex<Sched>,
     wake: &Condvar,
+    poison: &Mutex<Option<Box<dyn Any + Send>>>,
 ) {
     loop {
         let next = {
@@ -246,7 +255,25 @@ fn run_worker(
             .expect("stage scheduled twice");
         let results = StageResults { slots };
         let start = Instant::now();
-        let (value, items) = body(&results);
+        let (value, items) = match catch_unwind(AssertUnwindSafe(|| body(&results))) {
+            Ok(output) => output,
+            Err(payload) => {
+                // First panic wins; poison the run and wake every
+                // blocked worker so the scope can unwind cleanly.
+                {
+                    let mut p = poison.lock().unwrap();
+                    if p.is_none() {
+                        *p = Some(payload);
+                    }
+                }
+                let mut s = sched.lock().unwrap();
+                s.remaining = 0;
+                s.ready.clear();
+                drop(s);
+                wake.notify_all();
+                return;
+            }
+        };
         let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
         let _ = slots[next].set(value);
         let _ = timings[next].set(StageTiming {
@@ -351,6 +378,73 @@ mod tests {
     fn forward_dependencies_are_rejected() {
         let mut g = StageGraph::new();
         g.add_stage::<u8, _>("bad", &[3], |_| 0);
+    }
+
+    #[test]
+    fn diamond_dependency_sees_both_parents() {
+        // b and c race on 2+ threads; d must still observe both, and the
+        // sum pins that neither parent was skipped or reordered past d.
+        for threads in [1, 2, 4, 8] {
+            let mut g = StageGraph::new();
+            let a = g.add_stage("a", &[], |_| vec![1u64, 2, 3]);
+            let b = g.add_stage("b", &[a.index()], move |r| {
+                r.get(a).iter().sum::<u64>()
+            });
+            let c = g.add_stage("c", &[a.index()], move |r| {
+                r.get(a).iter().product::<u64>()
+            });
+            let d = g.add_stage("d", &[b.index(), c.index()], move |r| {
+                r.get(b) + r.get(c)
+            });
+            let mut out = g.run(threads);
+            assert_eq!(out.take(d), 12, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn timings_collected_for_every_stage() {
+        for threads in [1, 4] {
+            let mut g = StageGraph::new();
+            let names = ["alpha", "beta", "gamma", "delta", "epsilon"];
+            let mut prev: Option<usize> = None;
+            for name in names {
+                let deps: Vec<usize> = prev.into_iter().collect();
+                let id = g.add_stage::<u8, _>(name, &deps, |_| 0);
+                prev = Some(id.index());
+            }
+            let out = g.run(threads);
+            assert_eq!(out.timings.stages.len(), names.len());
+            for name in names {
+                let t = out.timings.stage(name).unwrap_or_else(|| {
+                    panic!("no timing for stage {name:?} at {threads} threads")
+                });
+                assert!(t.wall_ms >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn stage_panic_propagates_single_thread() {
+        let mut g = StageGraph::new();
+        g.add_stage::<u8, _>("bad", &[], |_| panic!("boom"));
+        g.run(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn stage_panic_propagates_multi_thread() {
+        // Regression: a panicking stage used to leave `remaining`
+        // undecremented, deadlocking the other workers on the condvar.
+        let mut g = StageGraph::new();
+        for i in 0..8 {
+            g.add_stage::<u8, _>(&format!("ok{i}"), &[], |_| 0);
+        }
+        g.add_stage::<u8, _>("bad", &[], |_| panic!("boom"));
+        for i in 8..16 {
+            g.add_stage::<u8, _>(&format!("ok{i}"), &[], |_| 0);
+        }
+        g.run(4);
     }
 
     #[test]

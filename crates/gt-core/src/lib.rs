@@ -33,7 +33,9 @@ pub mod validate;
 pub mod victims;
 
 pub use executor::{StageGraph, StageId, StageOutputs, StageResults, StageTiming, StageTimings};
-pub use pipeline::{ChainAnalysis, PaperRun, Pipeline, PipelineOptions};
+pub use pipeline::{
+    ChainAnalysis, DegradationReport, PaperRun, Pipeline, PipelineOptions, StageDegradation,
+};
 #[allow(deprecated)]
 pub use pipeline::run_paper_pipeline;
 pub use report::PaperReport;

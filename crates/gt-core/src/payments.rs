@@ -2,9 +2,10 @@
 
 use crate::datasets::{TwitterDataset, YouTubeDataset};
 use gt_addr::{Address, Coin};
-use gt_chain::{ChainView, Transfer};
+use gt_chain::{ChainReads, Transfer};
 use gt_cluster::{Category, ClusterView, TagResolver};
 use gt_price::PriceOracle;
+use gt_sim::faults::DegradationStats;
 use gt_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -71,6 +72,10 @@ pub struct PaymentAnalysis {
     pub payments: Vec<IsolatedPayment>,
     pub funnel: PaymentFunnel,
     pub revenue: RevenueRow,
+    /// RPC-read degradation behind this analysis (all zero when the
+    /// reads went straight to the ledger). Lives in `PaperRun`, never
+    /// in `PaperReport`.
+    pub degradation: DegradationStats,
 }
 
 impl PaymentAnalysis {
@@ -98,10 +103,12 @@ fn is_known_scam(
 type DomainWindows = (String, Vec<Address>, Vec<(SimTime, SimTime)>);
 
 /// Shared isolation logic over (domain, addresses, windows) triples.
+/// Generic over [`ChainReads`] so the same loop runs against the raw
+/// ledger or a fault-gated RPC view.
 #[allow(clippy::too_many_arguments)]
-fn isolate(
+fn isolate<C: ChainReads>(
     domains: Vec<DomainWindows>,
-    chains: &ChainView,
+    chains: &C,
     prices: &PriceOracle,
     tags: &TagResolver,
     clustering: &ClusterView,
@@ -192,14 +199,15 @@ fn isolate(
         payments,
         funnel,
         revenue,
+        degradation: DegradationStats::default(),
     }
 }
 
 /// Run payment isolation for the Twitter dataset: a payment co-occurs
 /// if it lands within one week after a promoting tweet.
-pub fn analyze_twitter(
+pub fn analyze_twitter<C: ChainReads>(
     dataset: &TwitterDataset,
-    chains: &ChainView,
+    chains: &C,
     prices: &PriceOracle,
     tags: &TagResolver,
     clustering: &ClusterView,
@@ -219,10 +227,10 @@ pub fn analyze_twitter(
 /// [`analyze_twitter`] with an explicit co-occurrence window width
 /// (used by the window-sweep ablation).
 #[allow(clippy::too_many_arguments)]
-pub fn analyze_twitter_with_window(
+pub fn analyze_twitter_with_window<C: ChainReads>(
     dataset: &TwitterDataset,
     window: gt_sim::SimDuration,
-    chains: &ChainView,
+    chains: &C,
     prices: &PriceOracle,
     tags: &TagResolver,
     clustering: &ClusterView,
@@ -245,9 +253,9 @@ pub fn analyze_twitter_with_window(
 
 /// Run payment isolation for the YouTube dataset: a payment co-occurs
 /// if it lands during a promoting stream or within eight hours after.
-pub fn analyze_youtube(
+pub fn analyze_youtube<C: ChainReads>(
     dataset: &YouTubeDataset,
-    chains: &ChainView,
+    chains: &C,
     prices: &PriceOracle,
     tags: &TagResolver,
     clustering: &ClusterView,
@@ -276,7 +284,7 @@ pub fn analyze_youtube(
 mod tests {
     use super::*;
     use gt_addr::BtcAddress;
-    use gt_chain::Amount;
+    use gt_chain::{Amount, ChainView};
     use gt_cluster::TagService;
     use gt_sim::RngFactory;
 

@@ -23,13 +23,16 @@ use crate::report::{PaperReport, QrPilotSummary, TwitchSummary};
 use crate::timeline::WeeklySeries;
 use crate::{currencies, discover, fig5, scammers, victims};
 use gt_addr::Address;
+use gt_chain::RpcView;
 use gt_cluster::{ClusterView, ClusteringOptions, TagResolver};
+use gt_sim::faults::{ChaosProfile, DegradationStats, FaultPlan, RetryPolicy};
 use gt_sim::SimDuration;
 use gt_stream::keywords::search_keyword_set;
 use gt_stream::monitor::{Monitor, MonitorConfig, MonitorReport};
 use gt_stream::pilot::{qr_persistence, qr_stats};
-use gt_stream::twitch::run_twitch_pilot;
+use gt_stream::twitch::run_twitch_pilot_with_faults;
 use gt_world::World;
+use serde::Serialize;
 use std::collections::{HashMap, HashSet};
 
 /// Tuning knobs for a pipeline run.
@@ -46,6 +49,11 @@ pub struct PipelineOptions {
     pub skip_interventions: bool,
     /// Detection lags for the intervention sweep.
     pub intervention_lags: Vec<SimDuration>,
+    /// Fault schedule every substrate consults; `None` runs clean.
+    /// The clean run is byte-identical to pre-fault-layer behavior.
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry/backoff policy for fault-gated calls.
+    pub retry: RetryPolicy,
 }
 
 impl Default for PipelineOptions {
@@ -62,7 +70,37 @@ impl Default for PipelineOptions {
                 SimDuration::days(3),
                 SimDuration::days(7),
             ],
+            fault_plan: None,
+            retry: RetryPolicy::default(),
         }
+    }
+}
+
+/// One stage's injected-fault accounting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct StageDegradation {
+    pub stage: String,
+    pub stats: DegradationStats,
+}
+
+/// Degradation accounting for a whole run: what each fault-gated stage
+/// lost, retried and recovered. Surfaced through [`PaperRun`] and the
+/// experiments JSON — never through [`PaperReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct DegradationReport {
+    /// Whether a fault plan was attached to the run.
+    pub enabled: bool,
+    pub stages: Vec<StageDegradation>,
+    pub total: DegradationStats,
+}
+
+impl DegradationReport {
+    fn push(&mut self, stage: &str, stats: DegradationStats) {
+        self.total.merge(&stats);
+        self.stages.push(StageDegradation {
+            stage: stage.to_string(),
+            stats,
+        });
     }
 }
 
@@ -85,6 +123,8 @@ pub struct PaperRun {
     pub youtube_analysis: PaymentAnalysis,
     /// Per-stage wall times and item counts for this run.
     pub timings: StageTimings,
+    /// Injected-fault accounting (all zero / disabled on clean runs).
+    pub degradation: DegradationReport,
 }
 
 /// Builder for a pipeline run over one generated world.
@@ -131,6 +171,30 @@ impl<'w> Pipeline<'w> {
         self
     }
 
+    /// Attach (or clear) a fault plan.
+    pub fn fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
+        self.options.fault_plan = plan;
+        self
+    }
+
+    /// Override the retry/backoff policy used under faults.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.options.retry = retry;
+        self
+    }
+
+    /// Attach a fault plan generated from `seed` and `profile` over the
+    /// world's full measurement span, extended past the end of
+    /// collection so the RPC backfill reads (whose virtual cursor
+    /// starts at `youtube_end`) have a fault surface too.
+    pub fn chaos(self, seed: u64, profile: &ChaosProfile) -> Self {
+        let c = &self.world.config;
+        let span_start = c.twitter_start.min(c.pilot_start);
+        let span_end = c.twitter_end.max(c.youtube_end) + SimDuration::days(14);
+        let plan = FaultPlan::generate(seed, span_start, span_end, profile);
+        self.fault_plan(Some(plan))
+    }
+
     /// Run the full pipeline.
     pub fn run(&self) -> PaperRun {
         let world = self.world;
@@ -145,6 +209,10 @@ impl<'w> Pipeline<'w> {
         let skip_pilot = self.options.skip_pilot;
         let skip_interventions = self.options.skip_interventions;
         let lags = self.options.intervention_lags.clone();
+        let plan = self.options.fault_plan.clone();
+        let retry = self.options.retry;
+        // RPC backfill reads start once collection has finished.
+        let rpc_epoch = config.youtube_end;
 
         let mut g = StageGraph::new();
 
@@ -155,24 +223,26 @@ impl<'w> Pipeline<'w> {
             (ds, domains)
         });
 
+        let pilot_plan = plan.clone();
         let pilot = g.add_stage_with_items("pilot_monitor", &[], move |_| {
             if skip_pilot {
                 return (MonitorReport::default(), 0);
             }
-            let monitor = Monitor::new(
-                MonitorConfig::paper(config.pilot_start, config.pilot_end),
-                search_keyword_set(),
-            );
+            let mut cfg = MonitorConfig::paper(config.pilot_start, config.pilot_end);
+            cfg.fault_plan = pilot_plan.clone();
+            cfg.retry = retry;
+            let monitor = Monitor::new(cfg, search_keyword_set());
             let report = monitor.run(&world.youtube, &world.web);
             let streams = report.streams.len() as u64;
             (report, streams)
         });
 
+        let monitor_plan = plan.clone();
         let main_monitor = g.add_stage_with_items("main_monitor", &[], move |_| {
-            let monitor = Monitor::new(
-                MonitorConfig::paper(config.youtube_start, config.youtube_end),
-                search_keyword_set(),
-            );
+            let mut cfg = MonitorConfig::paper(config.youtube_start, config.youtube_end);
+            cfg.fault_plan = monitor_plan.clone();
+            cfg.retry = retry;
+            let monitor = Monitor::new(cfg, search_keyword_set());
             let report = monitor.run(&world.youtube, &world.web);
             let streams = report.streams.len() as u64;
             (report, streams)
@@ -186,8 +256,15 @@ impl<'w> Pipeline<'w> {
             (ChainAnalysis { view, resolver }, txs)
         });
 
+        let twitch_plan = plan.clone();
         let twitch = g.add_stage("twitch_pilot", &[], move |_| {
-            run_twitch_pilot(&world.twitch, config.pilot_start, config.pilot_end)
+            run_twitch_pilot_with_faults(
+                &world.twitch,
+                config.pilot_start,
+                config.pilot_end,
+                twitch_plan.as_ref(),
+                retry,
+            )
         });
 
         // ---- dataset assembly and the known-scam address set ----
@@ -217,37 +294,81 @@ impl<'w> Pipeline<'w> {
         );
 
         // ---- per-platform payment isolation (Sections 5.1–5.3) ----
+        let twitter_plan = plan.clone();
         let twitter_an = g.add_stage_with_items(
             "twitter_payments",
             &[twitter_ds.index(), chain.index(), known_scam.index()],
             move |r| {
                 let ca = r.get(chain);
-                let analysis = analyze_twitter(
-                    r.get(twitter_ds),
-                    &world.chains,
-                    &world.prices,
-                    &ca.resolver,
-                    &ca.view,
-                    r.get(known_scam),
-                );
+                let analysis = match &twitter_plan {
+                    Some(p) => {
+                        let rpc = RpcView::new(
+                            &world.chains,
+                            Some(p),
+                            "rpc.twitter",
+                            retry,
+                            rpc_epoch,
+                        );
+                        let mut a = analyze_twitter(
+                            r.get(twitter_ds),
+                            &rpc,
+                            &world.prices,
+                            &ca.resolver,
+                            &ca.view,
+                            r.get(known_scam),
+                        );
+                        a.degradation = rpc.stats();
+                        a
+                    }
+                    None => analyze_twitter(
+                        r.get(twitter_ds),
+                        &world.chains,
+                        &world.prices,
+                        &ca.resolver,
+                        &ca.view,
+                        r.get(known_scam),
+                    ),
+                };
                 let payments = analysis.funnel.payments_any as u64;
                 (analysis, payments)
             },
         );
 
+        let youtube_plan = plan.clone();
         let youtube_an = g.add_stage_with_items(
             "youtube_payments",
             &[youtube_ds.index(), chain.index(), known_scam.index()],
             move |r| {
                 let ca = r.get(chain);
-                let analysis = analyze_youtube(
-                    r.get(youtube_ds),
-                    &world.chains,
-                    &world.prices,
-                    &ca.resolver,
-                    &ca.view,
-                    r.get(known_scam),
-                );
+                let analysis = match &youtube_plan {
+                    Some(p) => {
+                        let rpc = RpcView::new(
+                            &world.chains,
+                            Some(p),
+                            "rpc.youtube",
+                            retry,
+                            rpc_epoch,
+                        );
+                        let mut a = analyze_youtube(
+                            r.get(youtube_ds),
+                            &rpc,
+                            &world.prices,
+                            &ca.resolver,
+                            &ca.view,
+                            r.get(known_scam),
+                        );
+                        a.degradation = rpc.stats();
+                        a
+                    }
+                    None => analyze_youtube(
+                        r.get(youtube_ds),
+                        &world.chains,
+                        &world.prices,
+                        &ca.resolver,
+                        &ca.view,
+                        r.get(known_scam),
+                    ),
+                };
                 let payments = analysis.funnel.payments_any as u64;
                 (analysis, payments)
             },
@@ -367,17 +488,36 @@ impl<'w> Pipeline<'w> {
                 )
             },
         );
+        let outgoing_plan = plan.clone();
         let outgoing = g.add_stage(
             "outgoing_stats",
             &[twitter_an.index(), youtube_an.index(), chain.index()],
             move |r| {
                 let ca = r.get(chain);
-                scammers::outgoing_stats(
-                    &[r.get(twitter_an), r.get(youtube_an)],
-                    &world.chains,
-                    &ca.resolver,
-                    &ca.view,
-                )
+                let analyses = [r.get(twitter_an), r.get(youtube_an)];
+                match &outgoing_plan {
+                    Some(p) => {
+                        let rpc = RpcView::new(
+                            &world.chains,
+                            Some(p),
+                            "rpc.outgoing",
+                            retry,
+                            rpc_epoch,
+                        );
+                        let stats =
+                            scammers::outgoing_stats(&analyses, &rpc, &ca.resolver, &ca.view);
+                        (stats, rpc.stats())
+                    }
+                    None => {
+                        let stats = scammers::outgoing_stats(
+                            &analyses,
+                            &world.chains,
+                            &ca.resolver,
+                            &ca.view,
+                        );
+                        (stats, DegradationStats::default())
+                    }
+                }
             },
         );
 
@@ -425,6 +565,18 @@ impl<'w> Pipeline<'w> {
         let twitter_analysis = out.take(twitter_an);
         let youtube_analysis = out.take(youtube_an);
         let twitch_report = out.take(twitch);
+        let (outgoing_stats, outgoing_deg) = out.take(outgoing);
+
+        let mut degradation = DegradationReport {
+            enabled: self.options.fault_plan.is_some(),
+            ..Default::default()
+        };
+        degradation.push("pilot_monitor", pilot_report.degradation);
+        degradation.push("main_monitor", monitor_report.degradation);
+        degradation.push("twitch_pilot", twitch_report.degradation);
+        degradation.push("twitter_payments", twitter_analysis.degradation);
+        degradation.push("youtube_payments", youtube_analysis.degradation);
+        degradation.push("outgoing_stats", outgoing_deg);
 
         let report = PaperReport {
             table1: Table1::new(&twitter_dataset, &youtube_dataset),
@@ -446,7 +598,7 @@ impl<'w> Pipeline<'w> {
             recipients: out.take(recipients),
             twitter_recipients: scammers::distinct_recipients(&twitter_analysis),
             youtube_recipients: scammers::distinct_recipients(&youtube_analysis),
-            outgoing: out.take(outgoing),
+            outgoing: outgoing_stats,
             qr_pilot: out.take(qr_pilot),
             twitch: TwitchSummary {
                 streams_listed: twitch_report.streams_listed,
@@ -466,6 +618,7 @@ impl<'w> Pipeline<'w> {
             twitter_analysis,
             youtube_analysis,
             timings: out.timings,
+            degradation,
         }
     }
 }

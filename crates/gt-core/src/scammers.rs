@@ -3,7 +3,7 @@
 
 use crate::payments::PaymentAnalysis;
 use gt_addr::Address;
-use gt_chain::ChainView;
+use gt_chain::ChainReads;
 use gt_cluster::{Category, ClusterView, TagResolver};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
@@ -82,9 +82,9 @@ impl OutgoingStats {
 
 /// Classify the recipients of every outgoing transfer from the given
 /// scam recipient addresses.
-pub fn outgoing_stats(
+pub fn outgoing_stats<C: ChainReads>(
     analyses: &[&PaymentAnalysis],
-    chains: &ChainView,
+    chains: &C,
     tags: &TagResolver,
     clustering: &ClusterView,
 ) -> OutgoingStats {
@@ -119,7 +119,7 @@ mod tests {
     use crate::payments::{IsolatedPayment, PaymentFunnel, RevenueRow};
     use gt_addr::{BtcAddress, Coin};
     use gt_cluster::TagService;
-    use gt_chain::{Amount, BtcLedger, Transfer, TxRef};
+    use gt_chain::{Amount, BtcLedger, ChainView, Transfer, TxRef};
     use gt_sim::SimTime;
 
     fn addr(b: u8) -> BtcAddress {
@@ -158,6 +158,7 @@ mod tests {
                 payments_final: 0,
             },
             revenue: RevenueRow::default(),
+            degradation: Default::default(),
         }
     }
 

@@ -149,6 +149,7 @@ mod tests {
                 payments_final: 0,
             },
             revenue: RevenueRow::default(),
+            degradation: Default::default(),
         }
     }
 

@@ -1,0 +1,836 @@
+//! Deterministic fault injection for the measurement substrates.
+//!
+//! The paper's pipeline ran for months against flaky real-world services:
+//! YouTube/Twitch API quota exhaustion, scam-site cloaking and dead
+//! domains, and livestreams vanishing mid-monitor. This module models
+//! those failure modes as a *seeded, pre-computed schedule* — a
+//! [`FaultPlan`] — that every simulated substrate consults before
+//! answering. Because the schedule is a pure function of `(seed, span,
+//! profile)` and all retry jitter is drawn from the sim RNG, a chaotic
+//! run is exactly as reproducible as a clean one.
+//!
+//! # Snapshot semantics
+//!
+//! A retried or latency-delayed call serves data *as of the original
+//! poll tick*, not the (virtual) instant the retry finally lands.
+//! Faults can therefore only ever *remove* observations relative to a
+//! clean run — they never surface data a clean run would have missed.
+//! This is what makes the chaos-suite invariants (victim counts and
+//! revenue ≤ clean run) hold by construction rather than by luck.
+//!
+//! # Determinism contract
+//!
+//! - `FaultPlan::generate` derives one RNG stream per substrate from
+//!   [`RngFactory`], so schedules are byte-stable across runs, thread
+//!   counts, and substrate-iteration order.
+//! - Consumers own their [`FaultDriver`] (one per sequential loop, e.g.
+//!   a monitor window or an RPC read cursor). Drivers are never shared
+//!   across worker threads, so retry ordering cannot depend on
+//!   scheduling.
+//! - Degradation accounting lives in `PaperRun`/experiments JSON only,
+//!   never in `PaperReport`.
+
+use crate::rng::RngFactory;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A simulated service surface that can fail independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Substrate {
+    /// YouTube live-search endpoint (`search.list`).
+    YoutubeSearch,
+    /// YouTube video/stream details (`videos.list`).
+    YoutubeDetails,
+    /// YouTube live-chat paging (`liveChatMessages.list`).
+    YoutubeChat,
+    /// Stream frame capture / recording.
+    YoutubeRecord,
+    /// Twitch Helix `Get Streams` listing.
+    TwitchList,
+    /// Twitch IRC chat tail.
+    TwitchChat,
+    /// DNS resolution for scam-site fetches.
+    WebDns,
+    /// TLS handshakes with scam sites.
+    WebTls,
+    /// HTTP fetch of scam-site pages.
+    WebFetch,
+    /// Blockchain RPC view reads (address history).
+    ChainRpc,
+    /// The monitor host itself (whole windows cut short).
+    StreamMonitor,
+}
+
+impl Substrate {
+    /// Every substrate, in schedule-generation order.
+    pub const ALL: [Substrate; 11] = [
+        Substrate::YoutubeSearch,
+        Substrate::YoutubeDetails,
+        Substrate::YoutubeChat,
+        Substrate::YoutubeRecord,
+        Substrate::TwitchList,
+        Substrate::TwitchChat,
+        Substrate::WebDns,
+        Substrate::WebTls,
+        Substrate::WebFetch,
+        Substrate::ChainRpc,
+        Substrate::StreamMonitor,
+    ];
+
+    /// Stable label, used to derive the per-substrate schedule RNG.
+    pub fn label(self) -> &'static str {
+        match self {
+            Substrate::YoutubeSearch => "youtube.search",
+            Substrate::YoutubeDetails => "youtube.details",
+            Substrate::YoutubeChat => "youtube.chat",
+            Substrate::YoutubeRecord => "youtube.record",
+            Substrate::TwitchList => "twitch.list",
+            Substrate::TwitchChat => "twitch.chat",
+            Substrate::WebDns => "web.dns",
+            Substrate::WebTls => "web.tls",
+            Substrate::WebFetch => "web.fetch",
+            Substrate::ChainRpc => "chain.rpc",
+            Substrate::StreamMonitor => "stream.monitor",
+        }
+    }
+}
+
+impl std::fmt::Display for Substrate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What kind of failure a window injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Short-lived error; a backoff retry inside the window may still
+    /// land inside it, but retries eventually escape.
+    Transient,
+    /// Quota exhaustion: every call fails until the window closes.
+    RateLimit,
+    /// Calls succeed but take `delay` longer. Served data still uses
+    /// the original tick (snapshot semantics).
+    Latency {
+        /// Extra virtual time the call takes.
+        delay: SimDuration,
+    },
+    /// Permanent outage: the substrate never answers again this run.
+    Outage,
+}
+
+/// One scheduled fault interval `[start, end)` on a substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    pub start: SimTime,
+    pub end: SimTime,
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// Fault rates used by [`FaultPlan::generate`]. All rates are expected
+/// windows per substrate per 30 simulated days.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosProfile {
+    pub transients_per_month: f64,
+    pub transient_len: SimDuration,
+    pub quotas_per_month: f64,
+    pub quota_len: SimDuration,
+    pub latencies_per_month: f64,
+    pub latency_len: SimDuration,
+    pub latency_delay: SimDuration,
+    /// Probability that a substrate dies permanently somewhere in the
+    /// last 40% of the span.
+    pub outage_probability: f64,
+}
+
+impl Default for ChaosProfile {
+    fn default() -> Self {
+        ChaosProfile {
+            transients_per_month: 20.0,
+            transient_len: SimDuration::minutes(2),
+            quotas_per_month: 2.0,
+            quota_len: SimDuration::hours(4),
+            latencies_per_month: 10.0,
+            latency_len: SimDuration::minutes(5),
+            latency_delay: SimDuration::seconds(5),
+            outage_probability: 0.08,
+        }
+    }
+}
+
+impl ChaosProfile {
+    /// Occasional hiccups; no substrate ever dies.
+    pub fn mild() -> Self {
+        ChaosProfile {
+            transients_per_month: 6.0,
+            quotas_per_month: 0.5,
+            latencies_per_month: 4.0,
+            outage_probability: 0.0,
+            ..ChaosProfile::default()
+        }
+    }
+
+    /// Aggressive chaos: frequent transients, long quota windows, and a
+    /// real chance each substrate goes dark for good.
+    pub fn severe() -> Self {
+        ChaosProfile {
+            transients_per_month: 80.0,
+            quotas_per_month: 6.0,
+            quota_len: SimDuration::hours(8),
+            latencies_per_month: 40.0,
+            outage_probability: 0.3,
+            ..ChaosProfile::default()
+        }
+    }
+}
+
+/// A seeded, deterministic schedule of faults for every substrate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    pub seed: u64,
+    /// Sorted, non-overlapping windows per substrate.
+    pub schedules: BTreeMap<Substrate, Vec<FaultWindow>>,
+}
+
+impl FaultPlan {
+    /// A plan with no scheduled faults. Running under a quiet plan must
+    /// produce a byte-identical `PaperReport` to running clean.
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            schedules: BTreeMap::new(),
+        }
+    }
+
+    /// Generate a schedule over `[span_start, span_end)`. Pure function
+    /// of its arguments: one RNG stream per substrate, windows sorted
+    /// by start and swept for overlap.
+    pub fn generate(
+        seed: u64,
+        span_start: SimTime,
+        span_end: SimTime,
+        profile: &ChaosProfile,
+    ) -> Self {
+        let factory = RngFactory::new(seed).scoped("faults.plan");
+        let span_secs = (span_end - span_start).as_seconds().max(1);
+        let months = span_secs as f64 / (30.0 * 86_400.0);
+        let mut schedules = BTreeMap::new();
+        for sub in Substrate::ALL {
+            let mut rng = factory.rng(sub.label());
+            let mut windows: Vec<FaultWindow> = Vec::new();
+            // The monitor host only fails catastrophically: a window
+            // cut short, never a retried tick.
+            if sub != Substrate::StreamMonitor {
+                for (rate, len, kind) in [
+                    (
+                        profile.transients_per_month,
+                        profile.transient_len,
+                        FaultKind::Transient,
+                    ),
+                    (
+                        profile.quotas_per_month,
+                        profile.quota_len,
+                        FaultKind::RateLimit,
+                    ),
+                    (
+                        profile.latencies_per_month,
+                        profile.latency_len,
+                        FaultKind::Latency {
+                            delay: profile.latency_delay,
+                        },
+                    ),
+                ] {
+                    let expected = rate * months;
+                    let mut count = expected.floor() as usize;
+                    let frac = expected.fract();
+                    if frac > 0.0 && rng.gen_bool(frac.min(1.0)) {
+                        count += 1;
+                    }
+                    for _ in 0..count {
+                        let off = rng.gen_range(0..span_secs);
+                        let start = span_start + SimDuration::seconds(off);
+                        let end = (start + len).min(span_end);
+                        if end > start {
+                            windows.push(FaultWindow { start, end, kind });
+                        }
+                    }
+                }
+            }
+            if profile.outage_probability > 0.0 && rng.gen_bool(profile.outage_probability.min(1.0))
+            {
+                // Outages land in the back 40% of the span so some clean
+                // measurement always happens first, and extend to the end.
+                let lo = span_secs * 6 / 10;
+                let off = rng.gen_range(lo..span_secs);
+                windows.push(FaultWindow {
+                    start: span_start + SimDuration::seconds(off),
+                    end: span_end,
+                    kind: FaultKind::Outage,
+                });
+            }
+            windows.sort_by_key(|w| (w.start, w.end));
+            // Sweep out overlaps: keep each window only if it starts at
+            // or after the previous survivor's end.
+            let mut swept: Vec<FaultWindow> = Vec::with_capacity(windows.len());
+            for w in windows {
+                match swept.last() {
+                    Some(prev) if w.start < prev.end => {}
+                    _ => swept.push(w),
+                }
+            }
+            if !swept.is_empty() {
+                schedules.insert(sub, swept);
+            }
+        }
+        FaultPlan { seed, schedules }
+    }
+
+    /// The fault window (if any) covering `now` on `sub`.
+    pub fn window_at(&self, sub: Substrate, now: SimTime) -> Option<&FaultWindow> {
+        let windows = self.schedules.get(&sub)?;
+        // First window with start > now; the candidate is its predecessor.
+        let idx = windows.partition_point(|w| w.start <= now);
+        let w = &windows[idx.checked_sub(1)?];
+        w.contains(now).then_some(w)
+    }
+
+    /// The fault kind (if any) active at `now` on `sub`.
+    pub fn fault_at(&self, sub: Substrate, now: SimTime) -> Option<FaultKind> {
+        self.window_at(sub, now).map(|w| w.kind)
+    }
+
+    /// True when no substrate has any scheduled window.
+    pub fn is_quiet(&self) -> bool {
+        self.schedules.values().all(|w| w.is_empty())
+    }
+
+    /// RNG factory for consumers that need jitter streams tied to this
+    /// plan's seed.
+    pub fn factory(&self) -> RngFactory {
+        RngFactory::new(self.seed).scoped("faults.consumer")
+    }
+}
+
+/// Shared retry/backoff policy: exponential backoff with jitter, capped
+/// per attempt and bounded by a cumulative per-call budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum attempts per call (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: SimDuration,
+    /// Upper bound on any single backoff.
+    pub cap: SimDuration,
+    /// Cumulative virtual time a single call may spend waiting.
+    pub budget: SimDuration,
+    /// Jitter as a fraction of the nominal backoff, in `[0, jitter]`.
+    pub jitter: f64,
+    /// Consecutive failures before the circuit breaker opens.
+    pub breaker_threshold: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: SimDuration::seconds(2),
+            cap: SimDuration::minutes(2),
+            budget: SimDuration::minutes(10),
+            jitter: 0.5,
+            breaker_threshold: 3,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Deterministic backoff before retry number `attempt` (1-based),
+    /// without jitter: `base * 2^(attempt-1)`, capped at `cap`.
+    pub fn nominal_backoff(&self, attempt: u32) -> SimDuration {
+        let shift = attempt.saturating_sub(1).min(32);
+        let secs = self.base.as_seconds().saturating_mul(1i64 << shift);
+        SimDuration::seconds(secs.min(self.cap.as_seconds()).max(0))
+    }
+
+    /// Backoff with jitter drawn from `rng`: uniform in
+    /// `[nominal, nominal * (1 + jitter)]`.
+    pub fn backoff(&self, attempt: u32, rng: &mut StdRng) -> SimDuration {
+        let nominal = self.nominal_backoff(attempt);
+        if self.jitter <= 0.0 || nominal.as_seconds() == 0 {
+            return nominal;
+        }
+        let extra = (nominal.as_seconds() as f64 * self.jitter * rng.gen::<f64>()) as i64;
+        nominal + SimDuration::seconds(extra)
+    }
+}
+
+/// Trips after `threshold` consecutive failures; once open, every call
+/// is shed without consulting the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    consecutive: u32,
+    open: bool,
+}
+
+impl CircuitBreaker {
+    pub fn new(threshold: u32) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            consecutive: 0,
+            open: false,
+        }
+    }
+
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    pub fn record_success(&mut self) {
+        self.consecutive = 0;
+    }
+
+    /// Returns true if this failure tripped the breaker open.
+    pub fn record_failure(&mut self) -> bool {
+        if self.open {
+            return false;
+        }
+        self.consecutive += 1;
+        if self.consecutive >= self.threshold {
+            self.open = true;
+            return true;
+        }
+        false
+    }
+}
+
+/// Counts of injected faults and how the consumer fared against them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradationStats {
+    /// Transient-window hits (one per failed attempt).
+    pub transients: u64,
+    /// Rate-limit-window hits.
+    pub rate_limited: u64,
+    /// Calls served slowly under a latency window.
+    pub latency_spikes: u64,
+    /// Calls that hit a permanent outage.
+    pub outage_hits: u64,
+    /// Retries issued (backoff waits and quota waits).
+    pub retries: u64,
+    /// Calls that hit at least one fault but ultimately served.
+    pub recovered: u64,
+    /// Calls dropped: outage, budget exhausted, or breaker open.
+    pub lost: u64,
+    /// Times a circuit breaker tripped open.
+    pub circuit_opens: u64,
+}
+
+impl DegradationStats {
+    /// Total injected fault hits across all kinds.
+    pub fn injected(&self) -> u64 {
+        self.transients + self.rate_limited + self.latency_spikes + self.outage_hits
+    }
+
+    pub fn merge(&mut self, other: &DegradationStats) {
+        self.transients += other.transients;
+        self.rate_limited += other.rate_limited;
+        self.latency_spikes += other.latency_spikes;
+        self.outage_hits += other.outage_hits;
+        self.retries += other.retries;
+        self.recovered += other.recovered;
+        self.lost += other.lost;
+        self.circuit_opens += other.circuit_opens;
+    }
+
+    pub fn is_zero(&self) -> bool {
+        *self == DegradationStats::default()
+    }
+}
+
+/// A call was shed: the substrate is down, the breaker is open, or the
+/// retry budget ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Denied;
+
+/// Per-consumer gate over a [`FaultPlan`]: owns the retry loop, jitter
+/// RNG, per-substrate circuit breakers, and degradation accounting.
+///
+/// A driver must live inside one sequential loop (a monitor window, an
+/// RPC cursor, a revisit crawl) — never shared across worker threads —
+/// so its RNG draws and breaker transitions are reproducible.
+#[derive(Debug, Clone)]
+pub struct FaultDriver<'p> {
+    plan: Option<&'p FaultPlan>,
+    policy: RetryPolicy,
+    rng: Option<StdRng>,
+    breakers: BTreeMap<Substrate, CircuitBreaker>,
+    stats: DegradationStats,
+}
+
+impl<'p> FaultDriver<'p> {
+    /// A driver with no plan: every `admit` is an infallible no-op.
+    pub fn disabled() -> Self {
+        FaultDriver {
+            plan: None,
+            policy: RetryPolicy::default(),
+            rng: None,
+            breakers: BTreeMap::new(),
+            stats: DegradationStats::default(),
+        }
+    }
+
+    /// A driver over `plan`. `label` scopes the jitter stream so two
+    /// drivers on the same plan (e.g. pilot vs main monitor) draw
+    /// independent jitter.
+    pub fn new(plan: Option<&'p FaultPlan>, label: &str, policy: RetryPolicy) -> Self {
+        let rng = plan.map(|p| p.factory().rng(label));
+        FaultDriver {
+            plan,
+            policy,
+            rng,
+            breakers: BTreeMap::new(),
+            stats: DegradationStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> DegradationStats {
+        self.stats
+    }
+
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    pub fn plan(&self) -> Option<&'p FaultPlan> {
+        self.plan
+    }
+
+    /// True when no plan is attached (fast path for hot loops).
+    pub fn is_disabled(&self) -> bool {
+        self.plan.is_none()
+    }
+
+    /// Consult the plan before a call at `now`. `Ok(())` means the call
+    /// may serve — always with data as of `now` (snapshot semantics),
+    /// even if retries pushed the virtual completion time later.
+    pub fn admit(&mut self, sub: Substrate, now: SimTime) -> Result<(), Denied> {
+        let Some(plan) = self.plan else {
+            return Ok(());
+        };
+        if self
+            .breakers
+            .get(&sub)
+            .is_some_and(CircuitBreaker::is_open)
+        {
+            self.stats.lost += 1;
+            return Err(Denied);
+        }
+        let mut at = now;
+        let mut waited = SimDuration::ZERO;
+        let mut attempt: u32 = 1;
+        let mut saw_fault = false;
+        loop {
+            let Some(window) = plan.window_at(sub, at) else {
+                if saw_fault {
+                    self.stats.recovered += 1;
+                }
+                if let Some(b) = self.breakers.get_mut(&sub) {
+                    b.record_success();
+                }
+                return Ok(());
+            };
+            saw_fault = true;
+            match window.kind {
+                FaultKind::Latency { delay: _ } => {
+                    // Slow but successful; snapshot semantics mean the
+                    // delay never changes what data is served.
+                    self.stats.latency_spikes += 1;
+                    self.stats.recovered += 1;
+                    if let Some(b) = self.breakers.get_mut(&sub) {
+                        b.record_success();
+                    }
+                    return Ok(());
+                }
+                FaultKind::Outage => {
+                    self.stats.outage_hits += 1;
+                    self.stats.lost += 1;
+                    let threshold = self.policy.breaker_threshold;
+                    let b = self
+                        .breakers
+                        .entry(sub)
+                        .or_insert_with(|| CircuitBreaker::new(threshold));
+                    if b.record_failure() {
+                        self.stats.circuit_opens += 1;
+                    }
+                    return Err(Denied);
+                }
+                FaultKind::Transient | FaultKind::RateLimit => {
+                    let delay = if window.kind == FaultKind::Transient {
+                        self.stats.transients += 1;
+                        let rng = self.rng.as_mut().expect("plan implies rng");
+                        self.policy.backoff(attempt, rng)
+                    } else {
+                        self.stats.rate_limited += 1;
+                        // Quota windows don't clear early: wait them out.
+                        (window.end - at).max(SimDuration::seconds(1))
+                    };
+                    waited = waited + delay;
+                    if attempt >= self.policy.max_attempts || waited > self.policy.budget {
+                        self.stats.lost += 1;
+                        return Err(Denied);
+                    }
+                    self.stats.retries += 1;
+                    attempt += 1;
+                    at += delay;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn t(secs: i64) -> SimTime {
+        SimTime(secs)
+    }
+
+    fn span() -> (SimTime, SimTime) {
+        (t(0), t(90 * 86_400))
+    }
+
+    #[test]
+    fn generate_is_reproducible() {
+        let (a, b) = span();
+        let p1 = FaultPlan::generate(42, a, b, &ChaosProfile::default());
+        let p2 = FaultPlan::generate(42, a, b, &ChaosProfile::default());
+        assert_eq!(p1, p2);
+        let p3 = FaultPlan::generate(43, a, b, &ChaosProfile::default());
+        assert_ne!(p1, p3);
+    }
+
+    #[test]
+    fn windows_are_sorted_and_disjoint() {
+        let (a, b) = span();
+        let plan = FaultPlan::generate(7, a, b, &ChaosProfile::severe());
+        assert!(!plan.schedules.is_empty());
+        for windows in plan.schedules.values() {
+            for pair in windows.windows(2) {
+                assert!(pair[0].end <= pair[1].start, "{pair:?} overlap");
+            }
+            for w in windows {
+                assert!(w.start < w.end);
+                assert!(w.start >= a && w.end <= b);
+            }
+        }
+    }
+
+    #[test]
+    fn window_lookup_matches_linear_scan() {
+        let (a, b) = span();
+        let plan = FaultPlan::generate(11, a, b, &ChaosProfile::severe());
+        for sub in Substrate::ALL {
+            for secs in (0..90 * 86_400).step_by(86_400 / 4 + 7) {
+                let now = t(secs);
+                let fast = plan.fault_at(sub, now);
+                let slow = plan
+                    .schedules
+                    .get(&sub)
+                    .and_then(|ws| ws.iter().find(|w| w.contains(now)))
+                    .map(|w| w.kind);
+                assert_eq!(fast, slow);
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_plan_admits_everything() {
+        let plan = FaultPlan::quiet(9);
+        assert!(plan.is_quiet());
+        let mut gate = FaultDriver::new(Some(&plan), "test", RetryPolicy::default());
+        for secs in 0..100 {
+            assert!(gate.admit(Substrate::YoutubeSearch, t(secs)).is_ok());
+        }
+        assert!(gate.stats().is_zero());
+    }
+
+    #[test]
+    fn disabled_driver_is_a_noop() {
+        let mut gate = FaultDriver::disabled();
+        assert!(gate.is_disabled());
+        assert!(gate.admit(Substrate::ChainRpc, t(5)).is_ok());
+        assert!(gate.stats().is_zero());
+    }
+
+    #[test]
+    fn transient_window_is_escaped_by_retries() {
+        let mut plan = FaultPlan::quiet(1);
+        plan.schedules.insert(
+            Substrate::WebFetch,
+            vec![FaultWindow {
+                start: t(100),
+                end: t(104),
+                kind: FaultKind::Transient,
+            }],
+        );
+        let mut gate = FaultDriver::new(Some(&plan), "t", RetryPolicy::default());
+        assert!(gate.admit(Substrate::WebFetch, t(101)).is_ok());
+        let s = gate.stats();
+        assert!(s.transients >= 1);
+        assert_eq!(s.recovered, 1);
+        assert_eq!(s.lost, 0);
+        assert!(s.retries >= 1);
+    }
+
+    #[test]
+    fn rate_limit_longer_than_budget_is_lost() {
+        let mut plan = FaultPlan::quiet(1);
+        plan.schedules.insert(
+            Substrate::YoutubeChat,
+            vec![FaultWindow {
+                start: t(0),
+                end: t(86_400),
+                kind: FaultKind::RateLimit,
+            }],
+        );
+        let mut gate = FaultDriver::new(Some(&plan), "q", RetryPolicy::default());
+        assert_eq!(gate.admit(Substrate::YoutubeChat, t(10)), Err(Denied));
+        let s = gate.stats();
+        assert_eq!(s.rate_limited, 1);
+        assert_eq!(s.lost, 1);
+        assert_eq!(s.recovered, 0);
+    }
+
+    #[test]
+    fn short_rate_limit_is_waited_out() {
+        let mut plan = FaultPlan::quiet(1);
+        plan.schedules.insert(
+            Substrate::YoutubeSearch,
+            vec![FaultWindow {
+                start: t(0),
+                end: t(60),
+                kind: FaultKind::RateLimit,
+            }],
+        );
+        let mut gate = FaultDriver::new(Some(&plan), "q", RetryPolicy::default());
+        assert!(gate.admit(Substrate::YoutubeSearch, t(10)).is_ok());
+        let s = gate.stats();
+        assert_eq!(s.rate_limited, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.recovered, 1);
+    }
+
+    #[test]
+    fn outage_trips_breaker_then_sheds_without_consulting() {
+        let mut plan = FaultPlan::quiet(1);
+        plan.schedules.insert(
+            Substrate::ChainRpc,
+            vec![FaultWindow {
+                start: t(0),
+                end: t(1_000_000),
+                kind: FaultKind::Outage,
+            }],
+        );
+        let policy = RetryPolicy {
+            breaker_threshold: 2,
+            ..RetryPolicy::default()
+        };
+        let mut gate = FaultDriver::new(Some(&plan), "o", policy);
+        assert_eq!(gate.admit(Substrate::ChainRpc, t(1)), Err(Denied));
+        assert_eq!(gate.admit(Substrate::ChainRpc, t(2)), Err(Denied));
+        // Breaker now open: further calls shed without outage hits.
+        assert_eq!(gate.admit(Substrate::ChainRpc, t(3)), Err(Denied));
+        let s = gate.stats();
+        assert_eq!(s.outage_hits, 2);
+        assert_eq!(s.circuit_opens, 1);
+        assert_eq!(s.lost, 3);
+    }
+
+    #[test]
+    fn latency_counts_but_serves() {
+        let mut plan = FaultPlan::quiet(1);
+        plan.schedules.insert(
+            Substrate::YoutubeDetails,
+            vec![FaultWindow {
+                start: t(0),
+                end: t(100),
+                kind: FaultKind::Latency {
+                    delay: SimDuration::seconds(30),
+                },
+            }],
+        );
+        let mut gate = FaultDriver::new(Some(&plan), "l", RetryPolicy::default());
+        assert!(gate.admit(Substrate::YoutubeDetails, t(50)).is_ok());
+        let s = gate.stats();
+        assert_eq!(s.latency_spikes, 1);
+        assert_eq!(s.recovered, 1);
+        assert_eq!(s.lost, 0);
+    }
+
+    #[test]
+    fn nominal_backoff_monotone_and_capped() {
+        let policy = RetryPolicy::default();
+        let mut prev = SimDuration::ZERO;
+        for attempt in 1..=20 {
+            let b = policy.nominal_backoff(attempt);
+            assert!(b >= prev);
+            assert!(b <= policy.cap);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn jittered_backoff_within_bounds() {
+        let policy = RetryPolicy::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        for attempt in 1..=10 {
+            let nominal = policy.nominal_backoff(attempt);
+            for _ in 0..50 {
+                let b = policy.backoff(attempt, &mut rng);
+                assert!(b >= nominal);
+                let max = nominal.as_seconds() as f64 * (1.0 + policy.jitter);
+                assert!((b.as_seconds() as f64) <= max + 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn degradation_merge_sums() {
+        let a = DegradationStats {
+            transients: 1,
+            rate_limited: 2,
+            latency_spikes: 3,
+            outage_hits: 4,
+            retries: 5,
+            recovered: 6,
+            lost: 7,
+            circuit_opens: 8,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.transients, 2);
+        assert_eq!(b.circuit_opens, 16);
+        assert_eq!(b.injected(), 2 * a.injected());
+    }
+
+    #[test]
+    fn stream_monitor_gets_only_outages() {
+        let (a, b) = span();
+        let plan = FaultPlan::generate(123, a, b, &ChaosProfile::severe());
+        if let Some(windows) = plan.schedules.get(&Substrate::StreamMonitor) {
+            for w in windows {
+                assert_eq!(w.kind, FaultKind::Outage);
+            }
+        }
+    }
+}

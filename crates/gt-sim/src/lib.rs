@@ -21,11 +21,16 @@
 pub mod clock;
 pub mod dist;
 pub mod events;
+pub mod faults;
 pub mod ids;
 pub mod rng;
 pub mod time;
 
 pub use clock::Clock;
 pub use events::EventQueue;
+pub use faults::{
+    ChaosProfile, CircuitBreaker, DegradationStats, Denied, FaultDriver, FaultKind, FaultPlan,
+    FaultWindow, RetryPolicy, Substrate,
+};
 pub use rng::RngFactory;
 pub use time::{CivilDate, SimDuration, SimTime, Weekday};

@@ -12,6 +12,7 @@
 
 use crate::youtube::{ChatMessage, StreamVideo, ViewerCurve};
 use gt_qr::{encode, EcLevel, Frame};
+use gt_sim::faults::{Denied, FaultDriver, Substrate};
 use gt_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use parking_lot::Mutex;
@@ -134,6 +135,44 @@ impl Twitch {
             .filter(|m| m.time > since && m.time <= now)
             .cloned()
             .collect()
+    }
+
+    // ---- fault-gated variants (see the YouTube counterparts) ----
+
+    /// [`Twitch::get_streams`] behind a fault gate.
+    pub fn get_streams_checked(
+        &self,
+        now: SimTime,
+        gate: &mut FaultDriver<'_>,
+    ) -> Result<Vec<&TwitchStream>, Denied> {
+        gate.admit(Substrate::TwitchList, now)?;
+        Ok(self.get_streams(now))
+    }
+
+    /// [`Twitch::record`] behind a fault gate. Recording rides the
+    /// chat/IRC substrate: both are per-stream taps, distinct from the
+    /// Helix listing quota.
+    pub fn record_checked(
+        &self,
+        id: TwitchStreamId,
+        now: SimTime,
+        duration: SimDuration,
+        gate: &mut FaultDriver<'_>,
+    ) -> Result<Vec<Frame>, Denied> {
+        gate.admit(Substrate::TwitchChat, now)?;
+        Ok(self.record(id, now, duration))
+    }
+
+    /// [`Twitch::chat_since`] behind a fault gate.
+    pub fn chat_since_checked(
+        &self,
+        id: TwitchStreamId,
+        since: SimTime,
+        now: SimTime,
+        gate: &mut FaultDriver<'_>,
+    ) -> Result<Vec<ChatMessage>, Denied> {
+        gate.admit(Substrate::TwitchChat, now)?;
+        Ok(self.chat_since(id, since, now))
     }
 }
 

@@ -6,6 +6,7 @@
 //! recorded for quota audits.
 
 use gt_qr::{encode, EcLevel, Frame, Matrix};
+use gt_sim::faults::{Denied, FaultDriver, Substrate};
 use gt_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use parking_lot::Mutex;
@@ -323,6 +324,59 @@ impl YouTube {
             frames.push(render_frame(s, at));
         }
         frames
+    }
+
+    // ---- fault-gated variants of the API surface ----
+    //
+    // Each consults the gate's `FaultPlan` before answering; the gate
+    // retries transients inside its budget. `Err(Denied)` means the
+    // poll was shed. A successful call serves data as of `now` even
+    // when retries delayed it (snapshot semantics), so a faulty run
+    // observes a strict subset of a clean run.
+
+    /// [`YouTube::search_live`] behind a fault gate.
+    pub fn search_live_checked(
+        &self,
+        keywords: &gt_text::KeywordSet,
+        now: SimTime,
+        gate: &mut FaultDriver<'_>,
+    ) -> Result<Vec<SearchHit>, Denied> {
+        gate.admit(Substrate::YoutubeSearch, now)?;
+        Ok(self.search_live(keywords, now))
+    }
+
+    /// [`YouTube::stream_details`] behind a fault gate.
+    pub fn stream_details_checked(
+        &self,
+        id: LiveStreamId,
+        now: SimTime,
+        gate: &mut FaultDriver<'_>,
+    ) -> Result<Option<(u64, u64)>, Denied> {
+        gate.admit(Substrate::YoutubeDetails, now)?;
+        Ok(self.stream_details(id, now))
+    }
+
+    /// [`YouTube::chat_history`] behind a fault gate.
+    pub fn chat_history_checked(
+        &self,
+        id: LiveStreamId,
+        now: SimTime,
+        gate: &mut FaultDriver<'_>,
+    ) -> Result<Vec<ChatMessage>, Denied> {
+        gate.admit(Substrate::YoutubeChat, now)?;
+        Ok(self.chat_history(id, now))
+    }
+
+    /// [`YouTube::record`] behind a fault gate.
+    pub fn record_checked(
+        &self,
+        id: LiveStreamId,
+        now: SimTime,
+        duration: SimDuration,
+        gate: &mut FaultDriver<'_>,
+    ) -> Result<Vec<Frame>, Denied> {
+        gate.admit(Substrate::YoutubeRecord, now)?;
+        Ok(self.record(id, now, duration))
     }
 }
 

@@ -12,6 +12,7 @@
 
 use crate::keywords::SearchKeywords;
 use gt_qr::scan_frame;
+use gt_sim::faults::{DegradationStats, FaultDriver, FaultPlan, RetryPolicy, Substrate};
 use gt_sim::{CivilDate, SimDuration, SimTime};
 use gt_social::{ChannelId, LiveStreamId, YouTube};
 use gt_text::extract_urls;
@@ -51,6 +52,10 @@ pub struct MonitorConfig {
     /// Crawl leads daily (can be disabled for monitor-only runs).
     pub crawl: bool,
     pub crawler: CrawlerConfig,
+    /// Fault schedule every poll consults; `None` runs clean.
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry/backoff policy used when the plan injects faults.
+    pub retry: RetryPolicy,
 }
 
 impl MonitorConfig {
@@ -65,6 +70,8 @@ impl MonitorConfig {
             outage_days: OUTAGE_DAYS.to_vec(),
             crawl: true,
             crawler: CrawlerConfig::default(),
+            fault_plan: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -128,6 +135,10 @@ pub struct MonitorReport {
     pub samples_run: u64,
     pub outage_ticks_skipped: u64,
     pub crawl_attempts: u64,
+    /// Injected-fault accounting for this window (all zero when clean).
+    pub degradation: DegradationStats,
+    /// Set when a monitor-host outage cut the window short at this tick.
+    pub cut_short: Option<SimTime>,
 }
 
 impl MonitorReport {
@@ -172,6 +183,10 @@ impl Monitor {
         let mut revisits: Vec<RevisitState> = Vec::new();
         let mut known_urls: HashSet<String> = HashSet::new();
         let crawler = Crawler::new(cfg.crawler);
+        // One gate per window; the label ties this window's jitter
+        // stream to its start so pilot and main draw independently.
+        let gate_label = format!("monitor@{}", cfg.window_start.0);
+        let mut gate = FaultDriver::new(cfg.fault_plan.as_ref(), &gate_label, cfg.retry);
 
         let mut t = cfg.window_start;
         let ticks_per_search =
@@ -186,10 +201,23 @@ impl Monitor {
                 continue;
             }
 
+            // ---- monitor-host outage: the window is cut short ----
+            if !gate.is_disabled() && gate.admit(Substrate::StreamMonitor, t).is_err() {
+                report.cut_short = Some(t);
+                break;
+            }
+
             // ---- search poll ----
             if tick % ticks_per_search == 0 {
-                report.searches_run += 1;
-                for hit in youtube.search_live(&self.keywords.search, t) {
+                let hits = match youtube.search_live_checked(&self.keywords.search, t, &mut gate)
+                {
+                    Ok(hits) => {
+                        report.searches_run += 1;
+                        hits
+                    }
+                    Err(_) => Vec::new(),
+                };
+                for hit in hits {
                     tracked.entry(hit.stream).or_insert_with(|| {
                         let s = youtube.stream(hit.stream);
                         let channel = youtube
@@ -223,7 +251,12 @@ impl Monitor {
             // ---- per-stream sampling ----
             for state in tracked.values_mut().filter(|s| s.live) {
                 let id = state.observed.stream;
-                let Some((concurrent, total)) = youtube.stream_details(id, t) else {
+                // A denied details poll loses this sample but leaves the
+                // stream tracked; only a served "not live" retires it.
+                let Ok(details) = youtube.stream_details_checked(id, t, &mut gate) else {
+                    continue;
+                };
+                let Some((concurrent, total)) = details else {
                     state.live = false;
                     continue;
                 };
@@ -235,8 +268,11 @@ impl Monitor {
                 obs.samples += 1;
 
                 // Chat poll: last 70 messages; count only new ones and
-                // extract URLs.
-                for msg in youtube.chat_history(id, t) {
+                // extract URLs. A denied poll just misses this batch.
+                for msg in youtube
+                    .chat_history_checked(id, t, &mut gate)
+                    .unwrap_or_default()
+                {
                     if state.chat_seen.insert((msg.time, msg.text.clone())) {
                         obs.chat_messages_seen += 1;
                         for url in extract_urls(&msg.text) {
@@ -258,8 +294,9 @@ impl Monitor {
                 }
 
                 // Video recording: scan the sampled frames for QR codes.
-                let frames =
-                    youtube.record(id, t, SimDuration::seconds(cfg.record_seconds));
+                let frames = youtube
+                    .record_checked(id, t, SimDuration::seconds(cfg.record_seconds), &mut gate)
+                    .unwrap_or_default();
                 let mut saw_qr = false;
                 for frame in &frames {
                     for hit in scan_frame(frame) {
@@ -304,7 +341,7 @@ impl Monitor {
                         continue;
                     }
                     report.crawl_attempts += 1;
-                    let outcome = crawler.crawl(web, &state.url, t);
+                    let outcome = crawler.crawl_checked(web, &state.url, t, &mut gate);
                     if let Some(html) = outcome.html() {
                         report.pages.insert(
                             state.url.to_string(),
@@ -326,6 +363,7 @@ impl Monitor {
         report.streams = tracked.into_values().map(|s| s.observed).collect();
         report.streams.sort_by_key(|s| s.stream);
         report.leads.sort_by_key(|l| (l.stream, l.first_seen));
+        report.degradation = gate.stats();
         report
     }
 }

@@ -10,6 +10,7 @@
 
 use crate::keywords::twitch_keyword_set;
 use gt_qr::scan_frame;
+use gt_sim::faults::{DegradationStats, FaultDriver, FaultPlan, RetryPolicy};
 use gt_sim::{SimDuration, SimTime};
 use gt_social::{Twitch, TwitchStreamId};
 use gt_text::{extract_urls, KeywordSet};
@@ -40,6 +41,8 @@ pub struct TwitchPilotReport {
     pub qr_hits: usize,
     /// URLs extracted from candidate chats.
     pub chat_urls: Vec<String>,
+    /// Injected-fault accounting (all zero when run clean).
+    pub degradation: DegradationStats,
 }
 
 /// Run the Twitch pilot over a window at a 30-minute cadence.
@@ -48,14 +51,28 @@ pub fn run_twitch_pilot(
     window_start: SimTime,
     window_end: SimTime,
 ) -> TwitchPilotReport {
+    run_twitch_pilot_with_faults(twitch, window_start, window_end, None, RetryPolicy::default())
+}
+
+/// [`run_twitch_pilot`] under a fault plan: list polls and per-stream
+/// taps (recording, chat) consult the plan; denied polls are lost.
+pub fn run_twitch_pilot_with_faults(
+    twitch: &Twitch,
+    window_start: SimTime,
+    window_end: SimTime,
+    fault_plan: Option<&FaultPlan>,
+    retry: RetryPolicy,
+) -> TwitchPilotReport {
     let keywords: KeywordSet = twitch_keyword_set();
     let mut report = TwitchPilotReport::default();
     let mut seen: HashSet<TwitchStreamId> = HashSet::new();
     let mut chat_cursor: HashMap<TwitchStreamId, SimTime> = HashMap::new();
+    let mut gate = FaultDriver::new(fault_plan, "twitch.pilot", retry);
 
     let mut t = window_start;
     while t < window_end {
-        for stream in twitch.get_streams(t) {
+        let listed = twitch.get_streams_checked(t, &mut gate).unwrap_or_default();
+        for stream in listed {
             let is_new = seen.insert(stream.id);
             if is_new {
                 report.streams_listed += 1;
@@ -76,7 +93,9 @@ pub fn run_twitch_pilot(
             }
 
             // Record 20 seconds (ads occupy the first ~15).
-            let frames = twitch.record(stream.id, t, SimDuration::seconds(20));
+            let frames = twitch
+                .record_checked(stream.id, t, SimDuration::seconds(20), &mut gate)
+                .unwrap_or_default();
             if !frames.is_empty() {
                 report.recorded += 1;
             }
@@ -87,17 +106,23 @@ pub fn run_twitch_pilot(
             // Chat: poll the interval since the last visit (Twitch has
             // no history endpoint).
             let since = chat_cursor.get(&stream.id).copied().unwrap_or(stream.start);
-            for msg in twitch.chat_since(stream.id, since, t) {
-                for url in extract_urls(&msg.text) {
-                    report.chat_urls.push(url.url);
+            // On a denied chat poll the cursor stays put, so the next
+            // successful poll recovers the missed interval while the
+            // stream is still live.
+            if let Ok(messages) = twitch.chat_since_checked(stream.id, since, t, &mut gate) {
+                for msg in messages {
+                    for url in extract_urls(&msg.text) {
+                        report.chat_urls.push(url.url);
+                    }
                 }
+                chat_cursor.insert(stream.id, t);
             }
-            chat_cursor.insert(stream.id, t);
         }
         t += SimDuration::minutes(30);
     }
     report.chat_urls.sort();
     report.chat_urls.dedup();
+    report.degradation = gate.stats();
     report
 }
 

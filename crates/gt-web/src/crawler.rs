@@ -2,6 +2,7 @@
 
 use crate::host::{FetchError, NetOrigin, Request, Response, WebHost};
 use crate::url::Url;
+use gt_sim::faults::FaultDriver;
 use gt_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -118,13 +119,28 @@ impl Crawler {
     /// Crawl one URL at `now`, following front pages up to the
     /// configured interaction budget.
     pub fn crawl(&self, host: &WebHost, url: &Url, now: SimTime) -> CrawlOutcome {
+        self.crawl_checked(host, url, now, &mut FaultDriver::disabled())
+    }
+
+    /// [`Crawler::crawl`] under a fault gate: every fetch consults the
+    /// gate's `FaultPlan`, with transient failures retried inside the
+    /// gate's `RetryPolicy` budget. With a disabled gate this is
+    /// byte-for-byte identical to `crawl`.
+    pub fn crawl_checked(
+        &self,
+        host: &WebHost,
+        url: &Url,
+        now: SimTime,
+        gate: &mut FaultDriver<'_>,
+    ) -> CrawlOutcome {
         let mut interacted = false;
         let mut interactions = 0u32;
         loop {
-            let response: Response = match host.fetch(&self.request(url, interacted), now) {
-                Ok(r) => r,
-                Err(e) => return CrawlOutcome::Error(e),
-            };
+            let response: Response =
+                match host.fetch_checked(&self.request(url, interacted), now, gate) {
+                    Ok(r) => r,
+                    Err(e) => return CrawlOutcome::Error(e),
+                };
             if response.status == 403 {
                 return CrawlOutcome::Forbidden;
             }
@@ -397,6 +413,75 @@ mod tests {
         state.record(&CrawlOutcome::Page { html: "x".into() }, day(2));
         assert_eq!(state.consecutive_errors, 0);
         assert!(!state.retired);
+    }
+
+    #[test]
+    fn any_success_resets_the_counter() {
+        // Regression pin for the retirement rule: only fetch *errors*
+        // count toward retirement, so every non-error outcome —
+        // Forbidden, Challenged, StuckAtFrontPage, Page — resets the
+        // consecutive-error counter (the paper retires a URL only after
+        // three uninterrupted error days).
+        let day = |d: i64| t(d * 86_400);
+        for success in [
+            CrawlOutcome::Page { html: "x".into() },
+            CrawlOutcome::Forbidden,
+            CrawlOutcome::Challenged,
+            CrawlOutcome::StuckAtFrontPage,
+        ] {
+            let mut state = RevisitState::new(url());
+            state.record(&CrawlOutcome::Error(FetchError::ConnectionFailed), day(0));
+            state.record(&CrawlOutcome::Error(FetchError::Timeout), day(1));
+            assert_eq!(state.consecutive_errors, 2);
+            state.record(&success, day(2));
+            assert_eq!(state.consecutive_errors, 0, "{success:?} must reset");
+            assert!(!state.retired);
+            // Two more error days must not retire: the streak restarted.
+            state.record(&CrawlOutcome::Error(FetchError::ConnectionFailed), day(3));
+            state.record(&CrawlOutcome::Error(FetchError::ConnectionFailed), day(4));
+            assert!(!state.retired);
+        }
+    }
+
+    #[test]
+    fn checked_crawl_with_disabled_gate_matches_plain() {
+        let host = host_with(CloakingProfile::default(), None);
+        let crawler = Crawler::new(CrawlerConfig::default());
+        let mut gate = FaultDriver::disabled();
+        assert_eq!(
+            crawler.crawl_checked(&host, &url(), t(10), &mut gate),
+            crawler.crawl(&host, &url(), t(10))
+        );
+        assert!(gate.stats().is_zero());
+    }
+
+    #[test]
+    fn checked_crawl_surfaces_injected_faults() {
+        use gt_sim::faults::{FaultKind, FaultPlan, FaultWindow, RetryPolicy, Substrate};
+
+        let host = host_with(CloakingProfile::default(), None);
+        let crawler = Crawler::new(CrawlerConfig::default());
+        let mut plan = FaultPlan::quiet(5);
+        plan.schedules.insert(
+            Substrate::WebDns,
+            vec![FaultWindow {
+                start: t(0),
+                end: t(50),
+                kind: FaultKind::Outage,
+            }],
+        );
+        let mut gate = FaultDriver::new(Some(&plan), "test", RetryPolicy::default());
+        assert_eq!(
+            crawler.crawl_checked(&host, &url(), t(10), &mut gate),
+            CrawlOutcome::Error(FetchError::DnsFailure)
+        );
+        assert!(FetchError::DnsFailure.is_transient());
+        assert_eq!(gate.stats().lost, 1);
+        // Outside the window the crawl recovers.
+        assert!(crawler
+            .crawl_checked(&host, &url(), t(60), &mut gate)
+            .html()
+            .is_some());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The simulated web: domains, cloaking scam sites, benign sites.
 
 use crate::url::Url;
+use gt_sim::faults::{FaultDriver, FaultKind, Substrate};
 use gt_sim::SimTime;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -91,6 +92,27 @@ pub enum FetchError {
     UnknownDomain,
     /// Domain exists but the server no longer responds.
     ConnectionFailed,
+    /// Resolver failure (injected fault; distinct from NXDOMAIN).
+    DnsFailure,
+    /// TLS handshake failed.
+    TlsHandshake,
+    /// The request timed out.
+    Timeout,
+    /// The client is being rate-limited.
+    RateLimited,
+}
+
+impl FetchError {
+    /// Whether a retry at a later tick could plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            FetchError::DnsFailure
+                | FetchError::TlsHandshake
+                | FetchError::Timeout
+                | FetchError::RateLimited
+        )
+    }
 }
 
 impl fmt::Display for FetchError {
@@ -98,6 +120,10 @@ impl fmt::Display for FetchError {
         match self {
             FetchError::UnknownDomain => write!(f, "unknown domain"),
             FetchError::ConnectionFailed => write!(f, "connection failed"),
+            FetchError::DnsFailure => write!(f, "dns failure"),
+            FetchError::TlsHandshake => write!(f, "tls handshake failed"),
+            FetchError::Timeout => write!(f, "timed out"),
+            FetchError::RateLimited => write!(f, "rate limited"),
         }
     }
 }
@@ -229,6 +255,46 @@ impl WebHost {
             stats.challenges += 1;
         }
         Ok(response)
+    }
+
+    /// Serve a request at `now`, consulting `gate`'s fault plan first.
+    ///
+    /// Network-layer faults surface as the extended [`FetchError`]
+    /// variants: DNS and TLS windows fail the whole fetch, while
+    /// fetch-layer windows are retried inside the gate's budget and
+    /// only surface once the budget or schedule says so. A served
+    /// response always carries data as of `now` (snapshot semantics).
+    pub fn fetch_checked(
+        &self,
+        req: &Request,
+        now: SimTime,
+        gate: &mut FaultDriver<'_>,
+    ) -> Result<Response, FetchError> {
+        if gate.is_disabled() {
+            return self.fetch(req, now);
+        }
+        for (sub, err) in [
+            (Substrate::WebDns, FetchError::DnsFailure),
+            (Substrate::WebTls, FetchError::TlsHandshake),
+        ] {
+            if gate.admit(sub, now).is_err() {
+                self.stats.lock().errors += 1;
+                return Err(err);
+            }
+        }
+        if gate.admit(Substrate::WebFetch, now).is_err() {
+            let err = match gate
+                .plan()
+                .and_then(|p| p.fault_at(Substrate::WebFetch, now))
+            {
+                Some(FaultKind::RateLimit) => FetchError::RateLimited,
+                Some(FaultKind::Outage) => FetchError::ConnectionFailed,
+                _ => FetchError::Timeout,
+            };
+            self.stats.lock().errors += 1;
+            return Err(err);
+        }
+        self.fetch(req, now)
     }
 }
 

@@ -15,6 +15,7 @@ struct Args {
     scale: f64,
     seed: Option<u64>,
     threads: usize,
+    chaos: Option<u64>,
     markdown: Option<String>,
     json: Option<String>,
     artifacts: Option<String>,
@@ -25,6 +26,7 @@ fn parse_args() -> Args {
         scale: 0.1,
         seed: None,
         threads: 0,
+        chaos: None,
         markdown: None,
         json: None,
         artifacts: None,
@@ -62,12 +64,22 @@ fn parse_args() -> Args {
                     }
                 };
             }
+            "--chaos" => {
+                let raw = it.next().unwrap_or_default();
+                args.chaos = match raw.parse() {
+                    Ok(v) => Some(v),
+                    Err(_) => {
+                        eprintln!("error: --chaos must be an integer fault seed, got {raw:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--markdown" => args.markdown = it.next(),
             "--json" => args.json = it.next(),
             "--artifacts" => args.artifacts = it.next(),
             other => {
                 eprintln!("unknown flag {other}");
-                eprintln!("usage: experiments [--scale F] [--seed N] [--threads N] [--markdown PATH] [--json PATH] [--artifacts DIR]");
+                eprintln!("usage: experiments [--scale F] [--seed N] [--threads N] [--chaos SEED] [--markdown PATH] [--json PATH] [--artifacts DIR]");
                 std::process::exit(2);
             }
         }
@@ -99,13 +111,28 @@ fn main() {
 
     let t1 = std::time::Instant::now();
     eprintln!("[2/2] running the measurement pipeline ...");
-    let run = Pipeline::new(&world).threads(args.threads).run();
+    let mut pipeline = Pipeline::new(&world).threads(args.threads);
+    if let Some(chaos_seed) = args.chaos {
+        eprintln!("      injecting faults (chaos seed {chaos_seed:#x})");
+        pipeline = pipeline.chaos(chaos_seed, &givetake::sim::faults::ChaosProfile::default());
+    }
+    let run = pipeline.run();
     eprintln!(
         "      done ({:.1}s, {} worker threads, {} stages)",
         t1.elapsed().as_secs_f64(),
         run.timings.threads,
         run.timings.stages.len()
     );
+    if run.degradation.enabled {
+        let d = &run.degradation.total;
+        eprintln!(
+            "      degradation: {} faults injected, {} retries, {} recovered, {} lost",
+            d.injected(),
+            d.retries,
+            d.recovered,
+            d.lost
+        );
+    }
 
     let table = run.report.render_comparison(args.scale);
     println!("{table}");
@@ -114,9 +141,11 @@ fn main() {
         let json = serde_json::json!({
             "scale": args.scale,
             "seed": world.config.seed,
+            "chaos_seed": args.chaos,
             "report": run.report,
             "comparison": run.report.compare_with_paper(args.scale),
             "timings": run.timings,
+            "degradation": run.degradation,
         });
         std::fs::write(path, serde_json::to_string_pretty(&json).unwrap())
             .expect("write json report");

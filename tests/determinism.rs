@@ -35,6 +35,31 @@ fn report_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn faulted_report_is_byte_identical_across_thread_counts() {
+    // Fault schedules and retry jitter are functions of (plan seed,
+    // substrate, call site), never of scheduling — the chaos run must
+    // be exactly as thread-invariant as the clean one.
+    let profile = givetake::sim::faults::ChaosProfile::default();
+    let run_json = |threads: usize| {
+        let run = Pipeline::new(world())
+            .threads(threads)
+            .chaos(0xFA_017, &profile)
+            .run();
+        (
+            serde_json::to_string(&run.report).expect("report serializes"),
+            run.degradation,
+        )
+    };
+    let (serial, serial_deg) = run_json(1);
+    assert!(serial_deg.total.injected() > 0, "the plan actually injected faults");
+    for threads in [2, 4] {
+        let (json, deg) = run_json(threads);
+        assert_eq!(json, serial, "{threads}-thread faulted report diverged");
+        assert_eq!(deg, serial_deg, "{threads}-thread degradation accounting diverged");
+    }
+}
+
+#[test]
 fn options_equivalents_match() {
     // The builder setters and a hand-built PipelineOptions are the same.
     let via_setters = Pipeline::new(world()).threads(2).run();
