@@ -155,7 +155,9 @@ impl Address {
             if let Some(a) = EthAddress::parse(s) {
                 return Ok(Address::Eth(a));
             }
-        } else if s.to_ascii_lowercase().starts_with("bc1") || s.starts_with('1') || s.starts_with('3')
+        } else if s.to_ascii_lowercase().starts_with("bc1")
+            || s.starts_with('1')
+            || s.starts_with('3')
         {
             if let Some(a) = BtcAddress::parse(s) {
                 return Ok(Address::Btc(a));
@@ -272,7 +274,9 @@ mod tests {
     #[test]
     fn address_parse_dispatches() {
         assert_eq!(
-            Address::parse("1A1zP1eP5QGefi2DMPTfTL5SLmv7DivfNa").unwrap().coin(),
+            Address::parse("1A1zP1eP5QGefi2DMPTfTL5SLmv7DivfNa")
+                .unwrap()
+                .coin(),
             Coin::Btc
         );
         assert_eq!(
@@ -282,7 +286,9 @@ mod tests {
             Coin::Eth
         );
         assert_eq!(
-            Address::parse("rHb9CJAWyB4rj91VRWn96DkukG4bwdtyTh").unwrap().coin(),
+            Address::parse("rHb9CJAWyB4rj91VRWn96DkukG4bwdtyTh")
+                .unwrap()
+                .coin(),
             Coin::Xrp
         );
         let err = Address::parse("garbage").unwrap_err();

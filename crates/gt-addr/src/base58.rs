@@ -6,12 +6,10 @@
 use gt_hash::sha256d;
 
 /// The Bitcoin Base58 alphabet.
-pub const BTC_ALPHABET: &[u8; 58] =
-    b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+pub const BTC_ALPHABET: &[u8; 58] = b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
 
 /// The Ripple Base58 alphabet.
-pub const XRP_ALPHABET: &[u8; 58] =
-    b"rpshnaf39wBUDNEGHJKLM4PQRST7VWXYZ2bcdeCg65jkm8oFqi1tuvAxyz";
+pub const XRP_ALPHABET: &[u8; 58] = b"rpshnaf39wBUDNEGHJKLM4PQRST7VWXYZ2bcdeCg65jkm8oFqi1tuvAxyz";
 
 /// Encode bytes in base58 with the given alphabet.
 pub fn encode(data: &[u8], alphabet: &[u8; 58]) -> String {
@@ -50,10 +48,7 @@ pub fn decode(s: &str, alphabet: &[u8; 58]) -> Option<Vec<u8>> {
         index[c as usize] = i as u8;
     }
 
-    let zeros = s
-        .bytes()
-        .take_while(|&b| b == alphabet[0])
-        .count();
+    let zeros = s.bytes().take_while(|&b| b == alphabet[0]).count();
 
     let mut bytes: Vec<u8> = Vec::with_capacity(s.len());
     for c in s.bytes().skip(zeros) {
@@ -118,8 +113,14 @@ mod tests {
             ("61", "2g"),
             ("626262", "a3gV"),
             ("636363", "aPEr"),
-            ("73696d706c792061206c6f6e6720737472696e67", "2cFupjhnEsSn59qHXstmK2ffpLv2"),
-            ("00eb15231dfceb60925886b67d065299925915aeb172c06647", "1NS17iag9jJgTHD1VXjvLCEnZuQ3rJDE9L"),
+            (
+                "73696d706c792061206c6f6e6720737472696e67",
+                "2cFupjhnEsSn59qHXstmK2ffpLv2",
+            ),
+            (
+                "00eb15231dfceb60925886b67d065299925915aeb172c06647",
+                "1NS17iag9jJgTHD1VXjvLCEnZuQ3rJDE9L",
+            ),
             ("516b6fcd0f", "ABnLTmg"),
             ("bf4f89001e670274dd", "3SEo3LWLoPntC"),
             ("572e4794", "3EFU7m"),
@@ -143,7 +144,9 @@ mod tests {
 
     #[test]
     fn check_round_trip() {
-        let payload = [0x00, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20];
+        let payload = [
+            0x00, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20,
+        ];
         let encoded = encode_check(&payload, BTC_ALPHABET);
         assert_eq!(decode_check(&encoded, BTC_ALPHABET).unwrap(), payload);
     }

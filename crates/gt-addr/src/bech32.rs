@@ -1,7 +1,13 @@
 //! Bech32 / Bech32m (BIP-173, BIP-350) and segwit address codecs.
 
 const CHARSET: &[u8; 32] = b"qpzry9x8gf2tvdw0s3jn54khce6mua7l";
-const GEN: [u32; 5] = [0x3b6a_57b2, 0x2650_8e6d, 0x1ea1_19fa, 0x3d42_33dd, 0x2a14_62b3];
+const GEN: [u32; 5] = [
+    0x3b6a_57b2,
+    0x2650_8e6d,
+    0x1ea1_19fa,
+    0x3d42_33dd,
+    0x2a14_62b3,
+];
 
 const BECH32_CONST: u32 = 1;
 const BECH32M_CONST: u32 = 0x2bc8_30a3;
@@ -195,15 +201,15 @@ mod tests {
     #[test]
     fn invalid_bech32_strings() {
         for s in [
-            " 1nwldj5",          // HRP char out of range
-            "pzry9x0s0muk",      // no separator
-            "1pzry9x0s0muk",     // empty HRP
-            "x1b4n0q5v",         // invalid data char
-            "li1dgmt3",          // too-short checksum
-            "A1G7SGD8",          // checksum calculated with uppercase HRP
-            "10a06t8",           // empty HRP
-            "1qzzfhee",          // empty HRP
-            "abc1DEF2x6tnr",     // mixed case
+            " 1nwldj5",      // HRP char out of range
+            "pzry9x0s0muk",  // no separator
+            "1pzry9x0s0muk", // empty HRP
+            "x1b4n0q5v",     // invalid data char
+            "li1dgmt3",      // too-short checksum
+            "A1G7SGD8",      // checksum calculated with uppercase HRP
+            "10a06t8",       // empty HRP
+            "1qzzfhee",      // empty HRP
+            "abc1DEF2x6tnr", // mixed case
         ] {
             assert!(decode(s).is_none(), "{s} should fail");
         }
@@ -212,8 +218,7 @@ mod tests {
     // BIP-173/350 segwit address vectors.
     #[test]
     fn valid_segwit_addresses() {
-        let (v, prog) =
-            decode_segwit("bc", "BC1QW508D6QEJXTDG4Y5R3ZARVARY0C5XW7KV8F3T4").unwrap();
+        let (v, prog) = decode_segwit("bc", "BC1QW508D6QEJXTDG4Y5R3ZARVARY0C5XW7KV8F3T4").unwrap();
         assert_eq!(v, 0);
         assert_eq!(prog.len(), 20);
 

@@ -78,8 +78,8 @@ mod tests {
     #[test]
     fn eip55_fixtures_round_trip() {
         for fixture in EIP55_FIXTURES {
-            let addr = EthAddress::parse(fixture)
-                .unwrap_or_else(|| panic!("{fixture} should parse"));
+            let addr =
+                EthAddress::parse(fixture).unwrap_or_else(|| panic!("{fixture} should parse"));
             assert_eq!(addr.to_checksum_string(), *fixture, "checksum of {fixture}");
         }
     }

@@ -16,8 +16,18 @@ use std::hint::black_box;
 fn ablate_clustering(c: &mut Criterion) {
     let world = bench_world();
     // Report the accuracy difference once.
-    let aware = Clustering::build_with(&world.chains.btc, ClusteringOptions { coinjoin_aware: true });
-    let naive = Clustering::build_with(&world.chains.btc, ClusteringOptions { coinjoin_aware: false });
+    let aware = Clustering::build_with(
+        &world.chains.btc,
+        ClusteringOptions {
+            coinjoin_aware: true,
+        },
+    );
+    let naive = Clustering::build_with(
+        &world.chains.btc,
+        ClusteringOptions {
+            coinjoin_aware: false,
+        },
+    );
     println!(
         "ablation clustering: aware {} clusters ({} CoinJoins skipped) vs naive {} clusters",
         aware.cluster_count(),
@@ -29,7 +39,9 @@ fn ablate_clustering(c: &mut Criterion) {
         b.iter(|| {
             black_box(Clustering::build_with(
                 &world.chains.btc,
-                ClusteringOptions { coinjoin_aware: true },
+                ClusteringOptions {
+                    coinjoin_aware: true,
+                },
             ))
         })
     });
@@ -37,7 +49,9 @@ fn ablate_clustering(c: &mut Criterion) {
         b.iter(|| {
             black_box(Clustering::build_with(
                 &world.chains.btc,
-                ClusteringOptions { coinjoin_aware: false },
+                ClusteringOptions {
+                    coinjoin_aware: false,
+                },
             ))
         })
     });
@@ -64,7 +78,10 @@ fn ablate_crawler(c: &mut Criterion) {
             .iter()
             .filter(|u| crawler.crawl(&world.web, u, at).html().is_some())
             .count();
-        println!("ablation crawler/{name}: {reached}/{} sites reached", urls.len());
+        println!(
+            "ablation crawler/{name}: {reached}/{} sites reached",
+            urls.len()
+        );
         c.bench_function(&format!("ablation/crawl_30_sites_{name}"), |b| {
             let crawler = Crawler::new(config);
             b.iter(|| {
@@ -95,19 +112,21 @@ fn ablate_window(c: &mut Criterion) {
     for days in [1i64, 3, 7, 14] {
         let mut dataset_narrow = gt_core::datasets::TwitterDataset::default();
         for d in &twitter.domains {
-            dataset_narrow.domains.push(gt_core::datasets::TwitterDomain {
-                domain: d.domain.clone(),
-                tweets: d.tweets.clone(),
-                // Truncate each window by moving the tweet later:
-                // analyze_twitter always adds 7 days, so shift times
-                // forward by (7 - days).
-                tweet_times: d
-                    .tweet_times
-                    .iter()
-                    .map(|&t| t + gt_sim::SimDuration::days(days - 7))
-                    .collect(),
-                addresses: d.addresses.clone(),
-            });
+            dataset_narrow
+                .domains
+                .push(gt_core::datasets::TwitterDomain {
+                    domain: d.domain.clone(),
+                    tweets: d.tweets.clone(),
+                    // Truncate each window by moving the tweet later:
+                    // analyze_twitter always adds 7 days, so shift times
+                    // forward by (7 - days).
+                    tweet_times: d
+                        .tweet_times
+                        .iter()
+                        .map(|&t| t + gt_sim::SimDuration::days(days - 7))
+                        .collect(),
+                    addresses: d.addresses.clone(),
+                });
         }
         dataset_narrow.tweet_count = twitter.tweet_count;
         let clustering = gt_cluster::ClusterView::build(&world.chains.btc);

@@ -34,9 +34,10 @@ fn bench_figures(c: &mut Criterion) {
             black_box(WeeklySeries::build(
                 world.config.youtube_start,
                 world.config.youtube_end,
-                youtube.scam_streams.iter().filter_map(|sid| {
-                    observed.get(sid).map(|o| (o.first_seen, o.max_total_views))
-                }),
+                youtube
+                    .scam_streams
+                    .iter()
+                    .filter_map(|sid| observed.get(sid).map(|o| (o.first_seen, o.max_total_views))),
             ))
         })
     });
@@ -50,7 +51,11 @@ fn bench_figures(c: &mut Criterion) {
             .iter()
             .flat_map(|d| d.tweet_times.iter().map(|&t| (t, 0u64))),
     );
-    println!("Figure 3 (scale {}): {}", gt_bench::BENCH_SCALE, f3.sparkline());
+    println!(
+        "Figure 3 (scale {}): {}",
+        gt_bench::BENCH_SCALE,
+        f3.sparkline()
+    );
 
     // Figure 1: scam landing-page rendering.
     let domain = &world.truth.twitter_domains[0];

@@ -26,7 +26,10 @@ fn bench_scaling(c: &mut Criterion) {
         let mut stages = run.timings.stages.clone();
         stages.sort_by(|a, b| b.wall_ms.total_cmp(&a.wall_ms));
         for s in stages.iter().take(8) {
-            println!("  {:<22} {:>9.1} ms  ({} items)", s.name, s.wall_ms, s.items);
+            println!(
+                "  {:<22} {:>9.1} ms  ({} items)",
+                s.name, s.wall_ms, s.items
+            );
         }
     }
 

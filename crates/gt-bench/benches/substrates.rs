@@ -73,7 +73,11 @@ fn bench_addr(c: &mut Criterion) {
         b.iter(|| black_box(gt_addr::validate_any("1A1zP1eP5QGefi2DMPTfTL5SLmv7DivfNa")))
     });
     c.bench_function("addr/validate_eth_eip55", |b| {
-        b.iter(|| black_box(gt_addr::validate_any("0x5aAeb6053F3E94C9b9A09f33669435E7Ef1BeAed")))
+        b.iter(|| {
+            black_box(gt_addr::validate_any(
+                "0x5aAeb6053F3E94C9b9A09f33669435E7Ef1BeAed",
+            ))
+        })
     });
     c.bench_function("addr/validate_bech32", |b| {
         b.iter(|| {

@@ -26,8 +26,22 @@ fn bench_table2(c: &mut Criterion) {
     {
         let clustering = ClusterView::build(&world.chains.btc);
         let tags = world.tags.resolver(&clustering);
-        let tw = analyze_twitter(twitter, &world.chains, &world.prices, &tags, &clustering, &known);
-        let yt = analyze_youtube(youtube, &world.chains, &world.prices, &tags, &clustering, &known);
+        let tw = analyze_twitter(
+            twitter,
+            &world.chains,
+            &world.prices,
+            &tags,
+            &clustering,
+            &known,
+        );
+        let yt = analyze_youtube(
+            youtube,
+            &world.chains,
+            &world.prices,
+            &tags,
+            &clustering,
+            &known,
+        );
         println!("Table 2 (scale {}):", gt_bench::BENCH_SCALE);
         println!("  Twitter: {:?}", tw.revenue);
         println!("  YouTube: {:?}", yt.revenue);

@@ -25,8 +25,22 @@ fn analyses() -> &'static (PaymentAnalysis, PaymentAnalysis) {
         let clustering = ClusterView::build(&world.chains.btc);
         let tags = world.tags.resolver(&clustering);
         (
-            analyze_twitter(twitter, &world.chains, &world.prices, &tags, &clustering, &known),
-            analyze_youtube(youtube, &world.chains, &world.prices, &tags, &clustering, &known),
+            analyze_twitter(
+                twitter,
+                &world.chains,
+                &world.prices,
+                &tags,
+                &clustering,
+                &known,
+            ),
+            analyze_youtube(
+                youtube,
+                &world.chains,
+                &world.prices,
+                &tags,
+                &clustering,
+                &known,
+            ),
         )
     })
 }

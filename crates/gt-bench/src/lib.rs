@@ -50,8 +50,7 @@ pub fn bench_datasets() -> &'static (
         let world = bench_world();
         let keywords = gt_stream::keywords::search_keyword_set();
         let twitter = gt_core::datasets::build_twitter_dataset(&world.twitter, &world.scam_db);
-        let youtube =
-            gt_core::datasets::build_youtube_dataset(bench_monitor_report(), &keywords);
+        let youtube = gt_core::datasets::build_youtube_dataset(bench_monitor_report(), &keywords);
         (twitter, youtube)
     })
 }

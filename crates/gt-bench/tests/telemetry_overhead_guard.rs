@@ -1,0 +1,49 @@
+//! Guard: telemetry-on must stay within 5% of telemetry-off.
+//!
+//! The criterion bench (`benches/telemetry_overhead.rs`) gives the
+//! precise numbers; this test enforces the budget in `cargo test`.
+//! Runs are interleaved and compared min-vs-min so scheduler noise
+//! cancels; a small absolute slack keeps the guard robust on loaded
+//! machines without masking a real regression (at this scale a 5%
+//! regression is an order of magnitude above the slack).
+
+use gt_core::Pipeline;
+use gt_world::{World, WorldConfig};
+use std::time::{Duration, Instant};
+
+const ROUNDS: usize = 4;
+const RELATIVE_BUDGET: f64 = 1.05;
+const ABSOLUTE_SLACK: Duration = Duration::from_millis(60);
+
+fn timed_run(world: &World, telemetry: bool) -> Duration {
+    let started = Instant::now();
+    let run = Pipeline::new(world).threads(2).telemetry(telemetry).run();
+    assert_eq!(run.telemetry.enabled, telemetry);
+    std::hint::black_box(&run.report);
+    started.elapsed()
+}
+
+#[test]
+fn telemetry_overhead_stays_under_budget() {
+    // A dedicated small world: the guard wants wall-clock stability,
+    // not the bigger shared bench fixture.
+    let mut config = WorldConfig::scaled(0.02);
+    config.seed = 0x0B5E_17ED;
+    let world = World::generate(config);
+
+    // Warm-up pair (page cache, lazy statics), then interleaved rounds.
+    timed_run(&world, false);
+    timed_run(&world, true);
+    let mut off = Duration::MAX;
+    let mut on = Duration::MAX;
+    for _ in 0..ROUNDS {
+        off = off.min(timed_run(&world, false));
+        on = on.min(timed_run(&world, true));
+    }
+
+    let budget = off.mul_f64(RELATIVE_BUDGET) + ABSOLUTE_SLACK;
+    assert!(
+        on <= budget,
+        "telemetry overhead too high: on={on:?} off={off:?} budget={budget:?}"
+    );
+}

@@ -168,7 +168,10 @@ impl BtcLedger {
         let in_value: Amount = resolved.iter().map(|(_, o)| o.value).sum();
         let out_value: Amount = outputs.iter().map(|o| o.value).sum();
         if out_value > in_value {
-            return Err(ChainError::InsufficientInputValue { in_value, out_value });
+            return Err(ChainError::InsufficientInputValue {
+                in_value,
+                out_value,
+            });
         }
 
         let index = self.txs.len() as u64;
@@ -194,9 +197,7 @@ impl BtcLedger {
         fee: Amount,
         time: SimTime,
     ) -> Result<u64, ChainError> {
-        let needed = value
-            .checked_add(fee)
-            .ok_or(ChainError::ZeroValue)?;
+        let needed = value.checked_add(fee).ok_or(ChainError::ZeroValue)?;
         // Gather candidate UTXOs across the sender addresses.
         let mut candidates: Vec<(OutPoint, TxOut)> = Vec::new();
         for a in from {
@@ -293,11 +294,7 @@ impl BtcLedger {
                         coin: Coin::Btc,
                         index: idx,
                     },
-                    senders: tx
-                        .input_addresses()
-                        .into_iter()
-                        .map(Address::Btc)
-                        .collect(),
+                    senders: tx.input_addresses().into_iter().map(Address::Btc).collect(),
                     recipient: Address::Btc(address),
                     amount: received,
                     time: tx.time,
@@ -428,8 +425,14 @@ mod tests {
         let mut ledger = BtcLedger::new();
         let a = addrs(2);
         ledger.coinbase(a[0], Amount(10_000), t(0)).unwrap();
-        let op = OutPoint { tx_index: 0, vout: 0 };
-        let out = TxOut { address: a[1], value: Amount(9_000) };
+        let op = OutPoint {
+            tx_index: 0,
+            vout: 0,
+        };
+        let out = TxOut {
+            address: a[1],
+            value: Amount(9_000),
+        };
         ledger.submit(&[op], &[out], t(1)).unwrap();
         assert_eq!(
             ledger.submit(&[op], &[out], t(2)),
@@ -442,8 +445,14 @@ mod tests {
         let mut ledger = BtcLedger::new();
         let a = addrs(2);
         ledger.coinbase(a[0], Amount(10_000), t(0)).unwrap();
-        let op = OutPoint { tx_index: 0, vout: 0 };
-        let out = TxOut { address: a[1], value: Amount(15_000) };
+        let op = OutPoint {
+            tx_index: 0,
+            vout: 0,
+        };
+        let out = TxOut {
+            address: a[1],
+            value: Amount(15_000),
+        };
         assert_eq!(
             ledger.submit(&[op, op], &[out], t(1)),
             Err(ChainError::UnknownOrSpentInput)
@@ -455,10 +464,16 @@ mod tests {
         let mut ledger = BtcLedger::new();
         let a = addrs(2);
         ledger.coinbase(a[0], Amount(10_000), t(0)).unwrap();
-        let op = OutPoint { tx_index: 0, vout: 0 };
+        let op = OutPoint {
+            tx_index: 0,
+            vout: 0,
+        };
         let result = ledger.submit(
             &[op],
-            &[TxOut { address: a[1], value: Amount(10_001) }],
+            &[TxOut {
+                address: a[1],
+                value: Amount(10_001),
+            }],
             t(1),
         );
         assert!(matches!(
@@ -473,7 +488,10 @@ mod tests {
         let a = addrs(3);
         ledger.coinbase(a[0], Amount(5_000), t(0)).unwrap();
         let result = ledger.pay(&[a[0]], a[1], Amount(6_000), a[2], Amount(0), t(1));
-        assert!(matches!(result, Err(ChainError::InsufficientBalance { .. })));
+        assert!(matches!(
+            result,
+            Err(ChainError::InsufficientBalance { .. })
+        ));
     }
 
     #[test]
@@ -518,7 +536,7 @@ mod tests {
             .pay(&[a[0]], a[0], Amount(9_000), a[1], Amount(100), t(1))
             .unwrap();
         assert!(ledger.incoming(a[0]).len() <= 1); // only the coinbase... which has no sender
-        // The consolidation tx must not be reported as a payment to a0.
+                                                   // The consolidation tx must not be reported as a payment to a0.
         let non_coinbase: Vec<_> = ledger
             .incoming(a[0])
             .into_iter()
@@ -561,16 +579,23 @@ mod tests {
         for (i, &addr) in a.iter().enumerate().take(4) {
             ledger.coinbase(addr, Amount(10_000), t(i as i64)).unwrap();
         }
-        let inputs: Vec<OutPoint> = (0..4).map(|i| OutPoint { tx_index: i, vout: 0 }).collect();
+        let inputs: Vec<OutPoint> = (0..4)
+            .map(|i| OutPoint {
+                tx_index: i,
+                vout: 0,
+            })
+            .collect();
         // ... and receive equal-valued outputs at fresh addresses.
         let outputs: Vec<TxOut> = (4..8)
-            .map(|i| TxOut { address: a[i], value: Amount(9_900) })
+            .map(|i| TxOut {
+                address: a[i],
+                value: Amount(9_900),
+            })
             .collect();
         let idx = ledger.submit(&inputs, &outputs, t(10)).unwrap();
         let tx = ledger.tx(idx).unwrap();
         assert_eq!(tx.input_addresses().len(), 4);
-        let values: std::collections::HashSet<u64> =
-            tx.outputs.iter().map(|o| o.value.0).collect();
+        let values: std::collections::HashSet<u64> = tx.outputs.iter().map(|o| o.value.0).collect();
         assert_eq!(values.len(), 1, "CoinJoin outputs are equal-valued");
     }
 

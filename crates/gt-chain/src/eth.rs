@@ -62,7 +62,12 @@ impl EthLedger {
     }
 
     /// Credit an account out of thin air (genesis allocation / bridge-in).
-    pub fn mint(&mut self, address: EthAddress, value: Amount, time: SimTime) -> Result<(), ChainError> {
+    pub fn mint(
+        &mut self,
+        address: EthAddress,
+        value: Amount,
+        time: SimTime,
+    ) -> Result<(), ChainError> {
         if value == Amount::ZERO {
             return Err(ChainError::ZeroValue);
         }
@@ -216,7 +221,10 @@ mod tests {
     #[test]
     fn zero_value_rejected() {
         let mut ledger = EthLedger::new();
-        assert_eq!(ledger.mint(a(1), Amount::ZERO, t(0)), Err(ChainError::ZeroValue));
+        assert_eq!(
+            ledger.mint(a(1), Amount::ZERO, t(0)),
+            Err(ChainError::ZeroValue)
+        );
         ledger.mint(a(1), Amount(10), t(0)).unwrap();
         assert_eq!(
             ledger.transfer(a(1), a(2), Amount::ZERO, t(1)),

@@ -17,7 +17,8 @@
 use crate::types::Transfer;
 use crate::view::ChainView;
 use gt_addr::Address;
-use gt_sim::faults::{DegradationStats, FaultDriver, FaultPlan, RetryPolicy, Substrate};
+use gt_obs::StageSink;
+use gt_sim::faults::{CheckedCall, DegradationStats, FaultPlan, Gated, RetryPolicy, Substrate};
 use gt_sim::{SimDuration, SimTime};
 use std::cell::{Cell, RefCell};
 
@@ -50,7 +51,7 @@ const READ_SPACING: SimDuration = SimDuration::seconds(2);
 /// plan into one `RpcView` per stage is the intended use.
 pub struct RpcView<'a> {
     chains: &'a ChainView,
-    gate: RefCell<FaultDriver<'a>>,
+    gate: RefCell<Gated<'a>>,
     cursor: Cell<SimTime>,
 }
 
@@ -66,9 +67,23 @@ impl<'a> RpcView<'a> {
         retry: RetryPolicy,
         epoch: SimTime,
     ) -> Self {
+        RpcView::observed(chains, plan, label, retry, epoch, StageSink::noop())
+    }
+
+    /// [`RpcView::new`] reporting per-read telemetry (call counts,
+    /// transfers served, retry/backoff accounting) into `sink` under
+    /// the `chain.rpc` substrate.
+    pub fn observed(
+        chains: &'a ChainView,
+        plan: Option<&'a FaultPlan>,
+        label: &str,
+        retry: RetryPolicy,
+        epoch: SimTime,
+        sink: StageSink,
+    ) -> Self {
         RpcView {
             chains,
-            gate: RefCell::new(FaultDriver::new(plan, label, retry)),
+            gate: RefCell::new(Gated::new(plan, label, retry, sink)),
             cursor: Cell::new(epoch),
         }
     }
@@ -78,31 +93,27 @@ impl<'a> RpcView<'a> {
         self.gate.borrow().stats()
     }
 
-    fn admit(&self) -> bool {
+    fn read(&self, fetch: impl FnOnce() -> Vec<Transfer>) -> Vec<Transfer> {
         let at = self.cursor.get();
         self.cursor.set(at + READ_SPACING);
         self.gate
             .borrow_mut()
-            .admit(Substrate::ChainRpc, at)
-            .is_ok()
+            .checked_counted(Substrate::ChainRpc, at, || {
+                let transfers = fetch();
+                let n = transfers.len() as u64;
+                (transfers, n)
+            })
+            .unwrap_or_default()
     }
 }
 
 impl ChainReads for RpcView<'_> {
     fn incoming(&self, address: Address) -> Vec<Transfer> {
-        if self.admit() {
-            self.chains.incoming(address)
-        } else {
-            Vec::new()
-        }
+        self.read(|| self.chains.incoming(address))
     }
 
     fn outgoing(&self, address: Address) -> Vec<Transfer> {
-        if self.admit() {
-            self.chains.outgoing(address)
-        } else {
-            Vec::new()
-        }
+        self.read(|| self.chains.outgoing(address))
     }
 }
 
@@ -127,13 +138,7 @@ mod tests {
     #[test]
     fn clean_rpc_view_matches_chain_view() {
         let (view, addr) = view_with_history();
-        let rpc = RpcView::new(
-            &view,
-            None,
-            "test",
-            RetryPolicy::default(),
-            SimTime(1_000),
-        );
+        let rpc = RpcView::new(&view, None, "test", RetryPolicy::default(), SimTime(1_000));
         assert_eq!(rpc.incoming(addr), view.incoming(addr));
         assert_eq!(rpc.outgoing(addr), view.outgoing(addr));
         assert!(rpc.stats().is_zero());

@@ -91,10 +91,10 @@ impl fmt::Display for ChainError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ChainError::UnknownOrSpentInput => write!(f, "input is unknown or already spent"),
-            ChainError::InsufficientInputValue { in_value, out_value } => write!(
-                f,
-                "outputs ({out_value}) exceed inputs ({in_value})"
-            ),
+            ChainError::InsufficientInputValue {
+                in_value,
+                out_value,
+            } => write!(f, "outputs ({out_value}) exceed inputs ({in_value})"),
             ChainError::InsufficientBalance { balance, needed } => {
                 write!(f, "balance {balance} below required {needed}")
             }
@@ -130,7 +130,10 @@ mod tests {
 
     #[test]
     fn txref_display() {
-        let r = TxRef { coin: Coin::Eth, index: 42 };
+        let r = TxRef {
+            coin: Coin::Eth,
+            index: 42,
+        };
         assert_eq!(r.to_string(), "ETH:42");
     }
 

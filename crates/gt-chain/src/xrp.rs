@@ -63,7 +63,12 @@ impl XrpLedger {
     }
 
     /// Credit an account (genesis / bridge-in).
-    pub fn fund(&mut self, address: XrpAddress, value: Amount, time: SimTime) -> Result<(), ChainError> {
+    pub fn fund(
+        &mut self,
+        address: XrpAddress,
+        value: Amount,
+        time: SimTime,
+    ) -> Result<(), ChainError> {
         if value == Amount::ZERO {
             return Err(ChainError::ZeroValue);
         }
@@ -179,7 +184,9 @@ mod tests {
     fn send_burns_flat_fee() {
         let mut ledger = XrpLedger::new();
         ledger.fund(a(1), Amount(1_000_000), t(0)).unwrap();
-        ledger.send(a(1), a(2), Amount(400_000), None, t(1)).unwrap();
+        ledger
+            .send(a(1), a(2), Amount(400_000), None, t(1))
+            .unwrap();
         assert_eq!(ledger.balance(a(2)), Amount(400_000));
         assert_eq!(
             ledger.balance(a(1)),

@@ -14,15 +14,29 @@ fn addr(i: u8) -> BtcAddress {
 /// A random scripted BTC workload: coinbases then payments.
 #[derive(Debug, Clone)]
 enum BtcAction {
-    Coinbase { to: u8, value: u64 },
-    Pay { from: u8, to: u8, value: u64, fee: u64 },
+    Coinbase {
+        to: u8,
+        value: u64,
+    },
+    Pay {
+        from: u8,
+        to: u8,
+        value: u64,
+        fee: u64,
+    },
 }
 
 fn btc_action() -> impl Strategy<Value = BtcAction> {
     prop_oneof![
         (0u8..8, 1_000u64..10_000_000).prop_map(|(to, value)| BtcAction::Coinbase { to, value }),
-        (0u8..8, 0u8..8, 1u64..5_000_000, 0u64..10_000)
-            .prop_map(|(from, to, value, fee)| BtcAction::Pay { from, to, value, fee }),
+        (0u8..8, 0u8..8, 1u64..5_000_000, 0u64..10_000).prop_map(|(from, to, value, fee)| {
+            BtcAction::Pay {
+                from,
+                to,
+                value,
+                fee,
+            }
+        }),
     ]
 }
 

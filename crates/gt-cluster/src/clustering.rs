@@ -59,9 +59,10 @@ impl Clustering {
         let mut uf = UnionFind::new(0);
         let mut skipped = 0usize;
 
-        let index_of = |addr: BtcAddress, uf: &mut UnionFind, map: &mut HashMap<BtcAddress, usize>| {
-            *map.entry(addr).or_insert_with(|| uf.push())
-        };
+        let index_of =
+            |addr: BtcAddress, uf: &mut UnionFind, map: &mut HashMap<BtcAddress, usize>| {
+                *map.entry(addr).or_insert_with(|| uf.push())
+            };
 
         for tx in ledger.txs() {
             // Register every address we see so singletons exist too.
@@ -168,7 +169,14 @@ mod tests {
         ledger.coinbase(addr(1), Amount(5_000), t(0)).unwrap();
         ledger.coinbase(addr(2), Amount(5_000), t(1)).unwrap();
         ledger
-            .pay(&[addr(1), addr(2)], addr(9), Amount(9_000), addr(3), Amount(100), t(2))
+            .pay(
+                &[addr(1), addr(2)],
+                addr(9),
+                Amount(9_000),
+                addr(3),
+                Amount(100),
+                t(2),
+            )
             .unwrap();
 
         let mut c = Clustering::build(&ledger);
@@ -182,18 +190,37 @@ mod tests {
     fn chains_of_cospending_merge_transitively() {
         let mut ledger = BtcLedger::new();
         for i in 1..=3 {
-            ledger.coinbase(addr(i), Amount(5_000), t(i as i64)).unwrap();
+            ledger
+                .coinbase(addr(i), Amount(5_000), t(i as i64))
+                .unwrap();
         }
         ledger
-            .pay(&[addr(1), addr(2)], addr(10), Amount(9_000), addr(1), Amount(0), t(4))
+            .pay(
+                &[addr(1), addr(2)],
+                addr(10),
+                Amount(9_000),
+                addr(1),
+                Amount(0),
+                t(4),
+            )
             .unwrap();
         ledger.coinbase(addr(2), Amount(5_000), t(5)).unwrap();
         ledger
-            .pay(&[addr(2), addr(3)], addr(11), Amount(9_000), addr(2), Amount(0), t(6))
+            .pay(
+                &[addr(2), addr(3)],
+                addr(11),
+                Amount(9_000),
+                addr(2),
+                Amount(0),
+                t(6),
+            )
             .unwrap();
 
         let mut c = Clustering::build(&ledger);
-        assert!(c.same_cluster(addr(1), addr(3)), "transitive merge via addr 2");
+        assert!(
+            c.same_cluster(addr(1), addr(3)),
+            "transitive merge via addr 2"
+        );
         assert_eq!(c.cluster_size(addr(1)), Some(3));
     }
 
@@ -201,12 +228,21 @@ mod tests {
     fn coinjoin_not_merged_when_aware() {
         let mut ledger = BtcLedger::new();
         for i in 0..4u8 {
-            ledger.coinbase(addr(i), Amount(10_000), t(i as i64)).unwrap();
+            ledger
+                .coinbase(addr(i), Amount(10_000), t(i as i64))
+                .unwrap();
         }
-        let inputs: Vec<OutPoint> =
-            (0..4).map(|i| OutPoint { tx_index: i, vout: 0 }).collect();
+        let inputs: Vec<OutPoint> = (0..4)
+            .map(|i| OutPoint {
+                tx_index: i,
+                vout: 0,
+            })
+            .collect();
         let outputs: Vec<TxOut> = (10..14)
-            .map(|b| TxOut { address: addr(b), value: Amount(9_900) })
+            .map(|b| TxOut {
+                address: addr(b),
+                value: Amount(9_900),
+            })
             .collect();
         ledger.submit(&inputs, &outputs, t(10)).unwrap();
 
@@ -243,11 +279,20 @@ mod tests {
         // behaviour Section 5.5 observes for 87% of scam addresses.
         let mut ledger = BtcLedger::new();
         for i in 1..=3u8 {
-            ledger.coinbase(addr(i), Amount(10_000), t(i as i64)).unwrap();
+            ledger
+                .coinbase(addr(i), Amount(10_000), t(i as i64))
+                .unwrap();
         }
         for i in 1..=3u8 {
             ledger
-                .pay(&[addr(i)], addr(100 + i), Amount(9_000), addr(i), Amount(100), t(i as i64 + 10))
+                .pay(
+                    &[addr(i)],
+                    addr(100 + i),
+                    Amount(9_000),
+                    addr(i),
+                    Amount(100),
+                    t(i as i64 + 10),
+                )
                 .unwrap();
         }
         let mut c = Clustering::build(&ledger);
@@ -262,7 +307,14 @@ mod tests {
         ledger.coinbase(addr(1), Amount(5_000), t(0)).unwrap();
         ledger.coinbase(addr(2), Amount(5_000), t(1)).unwrap();
         ledger
-            .pay(&[addr(1), addr(2)], addr(9), Amount(9_500), addr(1), Amount(0), t(2))
+            .pay(
+                &[addr(1), addr(2)],
+                addr(9),
+                Amount(9_500),
+                addr(1),
+                Amount(0),
+                t(2),
+            )
             .unwrap();
         let c = Clustering::build(&ledger);
         // addr1+addr2 cluster, addr9 singleton.

@@ -35,8 +35,8 @@ pub fn looks_like_coinjoin(tx: &BtcTx) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gt_chain::{Amount, BtcLedger, OutPoint, TxOut};
     use gt_addr::BtcAddress;
+    use gt_chain::{Amount, BtcLedger, OutPoint, TxOut};
     use gt_sim::SimTime;
 
     fn addr(b: u8) -> BtcAddress {
@@ -50,7 +50,9 @@ mod tests {
     fn funded_ledger(n: usize, value: u64) -> BtcLedger {
         let mut ledger = BtcLedger::new();
         for i in 0..n {
-            ledger.coinbase(addr(i as u8), Amount(value), t(i as i64)).unwrap();
+            ledger
+                .coinbase(addr(i as u8), Amount(value), t(i as i64))
+                .unwrap();
         }
         ledger
     }
@@ -58,10 +60,17 @@ mod tests {
     #[test]
     fn classic_coinjoin_detected() {
         let mut ledger = funded_ledger(4, 10_000);
-        let inputs: Vec<OutPoint> =
-            (0..4).map(|i| OutPoint { tx_index: i, vout: 0 }).collect();
+        let inputs: Vec<OutPoint> = (0..4)
+            .map(|i| OutPoint {
+                tx_index: i,
+                vout: 0,
+            })
+            .collect();
         let outputs: Vec<TxOut> = (10..14)
-            .map(|b| TxOut { address: addr(b), value: Amount(9_900) })
+            .map(|b| TxOut {
+                address: addr(b),
+                value: Amount(9_900),
+            })
             .collect();
         let idx = ledger.submit(&inputs, &outputs, t(10)).unwrap();
         assert!(looks_like_coinjoin(ledger.tx(idx).unwrap()));
@@ -71,7 +80,14 @@ mod tests {
     fn ordinary_payment_not_detected() {
         let mut ledger = funded_ledger(1, 100_000);
         ledger
-            .pay(&[addr(0)], addr(9), Amount(40_000), addr(0), Amount(100), t(5))
+            .pay(
+                &[addr(0)],
+                addr(9),
+                Amount(40_000),
+                addr(0),
+                Amount(100),
+                t(5),
+            )
             .unwrap();
         assert!(!looks_like_coinjoin(ledger.tx(1).unwrap()));
     }
@@ -80,9 +96,16 @@ mod tests {
     fn consolidation_not_detected() {
         // Many inputs, one output: typical scammer consolidation.
         let mut ledger = funded_ledger(5, 10_000);
-        let inputs: Vec<OutPoint> =
-            (0..5).map(|i| OutPoint { tx_index: i, vout: 0 }).collect();
-        let outputs = vec![TxOut { address: addr(9), value: Amount(49_000) }];
+        let inputs: Vec<OutPoint> = (0..5)
+            .map(|i| OutPoint {
+                tx_index: i,
+                vout: 0,
+            })
+            .collect();
+        let outputs = vec![TxOut {
+            address: addr(9),
+            value: Amount(49_000),
+        }];
         let idx = ledger.submit(&inputs, &outputs, t(10)).unwrap();
         assert!(!looks_like_coinjoin(ledger.tx(idx).unwrap()));
     }
@@ -96,11 +119,20 @@ mod tests {
         ledger.coinbase(addr(0), Amount(10_000), t(0)).unwrap();
         ledger.coinbase(addr(0), Amount(10_000), t(1)).unwrap();
         let inputs = [
-            OutPoint { tx_index: 0, vout: 0 },
-            OutPoint { tx_index: 1, vout: 0 },
+            OutPoint {
+                tx_index: 0,
+                vout: 0,
+            },
+            OutPoint {
+                tx_index: 1,
+                vout: 0,
+            },
         ];
         let outputs: Vec<TxOut> = (10..14)
-            .map(|b| TxOut { address: addr(b), value: Amount(4_900) })
+            .map(|b| TxOut {
+                address: addr(b),
+                value: Amount(4_900),
+            })
             .collect();
         let idx = ledger.submit(&inputs, &outputs, t(2)).unwrap();
         assert!(!looks_like_coinjoin(ledger.tx(idx).unwrap()));

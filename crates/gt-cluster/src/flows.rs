@@ -30,8 +30,7 @@ pub struct FlowExposure {
 impl FlowExposure {
     /// Fraction of traced value reaching `category`.
     pub fn share(&self, category: Category) -> f64 {
-        let total: f64 =
-            self.by_category.values().sum::<f64>() + self.unresolved;
+        let total: f64 = self.by_category.values().sum::<f64>() + self.unresolved;
         if total == 0.0 {
             return 0.0;
         }
@@ -152,15 +151,36 @@ mod tests {
         chains.btc.coinbase(addr(1), Amount(110_000), t(0)).unwrap();
         chains
             .btc
-            .pay(&[addr(1)], addr(9), Amount(100_000), addr(1), Amount(100), t(1))
+            .pay(
+                &[addr(1)],
+                addr(9),
+                Amount(100_000),
+                addr(1),
+                Amount(100),
+                t(1),
+            )
             .unwrap();
         chains
             .btc
-            .pay(&[addr(9)], addr(10), Amount(99_000), addr(9), Amount(100), t(2))
+            .pay(
+                &[addr(9)],
+                addr(10),
+                Amount(99_000),
+                addr(9),
+                Amount(100),
+                t(2),
+            )
             .unwrap();
         chains
             .btc
-            .pay(&[addr(10)], addr(20), Amount(98_000), addr(10), Amount(100), t(3))
+            .pay(
+                &[addr(10)],
+                addr(20),
+                Amount(98_000),
+                addr(10),
+                Amount(100),
+                t(3),
+            )
             .unwrap();
         (chains, tags)
     }
@@ -192,17 +212,35 @@ mod tests {
         chains.btc.coinbase(addr(1), Amount(110_000), t(0)).unwrap();
         chains
             .btc
-            .pay(&[addr(1)], addr(9), Amount(100_000), addr(1), Amount(0), t(1))
+            .pay(
+                &[addr(1)],
+                addr(9),
+                Amount(100_000),
+                addr(1),
+                Amount(0),
+                t(1),
+            )
             .unwrap();
         // 75/25 split to exchange and mixer.
-        let utxos: Vec<_> = chains.btc.utxos_of(addr(9)).into_iter().map(|(op, _)| op).collect();
+        let utxos: Vec<_> = chains
+            .btc
+            .utxos_of(addr(9))
+            .into_iter()
+            .map(|(op, _)| op)
+            .collect();
         chains
             .btc
             .submit(
                 &utxos,
                 &[
-                    gt_chain::TxOut { address: addr(20), value: Amount(75_000) },
-                    gt_chain::TxOut { address: addr(21), value: Amount(25_000) },
+                    gt_chain::TxOut {
+                        address: addr(20),
+                        value: Amount(75_000),
+                    },
+                    gt_chain::TxOut {
+                        address: addr(21),
+                        value: Amount(25_000),
+                    },
                 ],
                 t(2),
             )
@@ -221,7 +259,14 @@ mod tests {
         chains.btc.coinbase(addr(1), Amount(50_000), t(0)).unwrap();
         chains
             .btc
-            .pay(&[addr(1)], addr(9), Amount(40_000), addr(1), Amount(0), t(1))
+            .pay(
+                &[addr(1)],
+                addr(9),
+                Amount(40_000),
+                addr(1),
+                Amount(0),
+                t(1),
+            )
             .unwrap();
         let clustering = ClusterView::build(&chains.btc);
         let tags = tags.resolver(&clustering);
@@ -237,11 +282,25 @@ mod tests {
         chains.btc.coinbase(addr(9), Amount(100_000), t(0)).unwrap();
         chains
             .btc
-            .pay(&[addr(9)], addr(10), Amount(90_000), addr(9), Amount(0), t(1))
+            .pay(
+                &[addr(9)],
+                addr(10),
+                Amount(90_000),
+                addr(9),
+                Amount(0),
+                t(1),
+            )
             .unwrap();
         chains
             .btc
-            .pay(&[addr(10)], addr(9), Amount(80_000), addr(10), Amount(0), t(2))
+            .pay(
+                &[addr(10)],
+                addr(9),
+                Amount(80_000),
+                addr(10),
+                Amount(0),
+                t(2),
+            )
             .unwrap();
         let clustering = ClusterView::build(&chains.btc);
         let tags = tags.resolver(&clustering);

@@ -192,7 +192,14 @@ mod tests {
         ledger.coinbase(addr(1), Amount(5_000), t(0)).unwrap();
         ledger.coinbase(addr(2), Amount(5_000), t(1)).unwrap();
         ledger
-            .pay(&[addr(1), addr(2)], addr(9), Amount(9_000), addr(1), Amount(100), t(2))
+            .pay(
+                &[addr(1), addr(2)],
+                addr(9),
+                Amount(9_000),
+                addr(1),
+                Amount(100),
+                t(2),
+            )
             .unwrap();
         let mut clustering = Clustering::build(&ledger);
 
@@ -225,7 +232,14 @@ mod tests {
         ledger.coinbase(addr(1), Amount(5_000), t(0)).unwrap();
         ledger.coinbase(addr(2), Amount(5_000), t(1)).unwrap();
         ledger
-            .pay(&[addr(1), addr(2)], addr(9), Amount(9_000), addr(1), Amount(100), t(2))
+            .pay(
+                &[addr(1), addr(2)],
+                addr(9),
+                Amount(9_000),
+                addr(1),
+                Amount(100),
+                t(2),
+            )
             .unwrap();
         let mut tags = TagService::new();
         tags.tag(Address::Btc(addr(1)), Category::Exchange);
@@ -262,12 +276,26 @@ mod tests {
         ledger.coinbase(addr(1), Amount(5_000), t(0)).unwrap();
         ledger.coinbase(addr(2), Amount(5_000), t(1)).unwrap();
         ledger
-            .pay(&[addr(1), addr(2)], addr(9), Amount(9_000), addr(1), Amount(100), t(2))
+            .pay(
+                &[addr(1), addr(2)],
+                addr(9),
+                Amount(9_000),
+                addr(1),
+                Amount(100),
+                t(2),
+            )
             .unwrap();
         ledger.coinbase(addr(2), Amount(5_000), t(3)).unwrap();
         ledger.coinbase(addr(3), Amount(5_000), t(4)).unwrap();
         ledger
-            .pay(&[addr(2), addr(3)], addr(9), Amount(9_000), addr(2), Amount(100), t(5))
+            .pay(
+                &[addr(2), addr(3)],
+                addr(9),
+                Amount(9_000),
+                addr(2),
+                Amount(100),
+                t(5),
+            )
             .unwrap();
         let view = crate::view::ClusterView::build(&ledger);
         assert!(view.same_cluster(addr(1), addr(3)));
@@ -295,7 +323,10 @@ mod tests {
     #[test]
     fn category_display_matches_paper_vocabulary() {
         assert_eq!(Category::Exchange.to_string(), "exchange");
-        assert_eq!(Category::TokenSmartContract.to_string(), "token smart contract");
+        assert_eq!(
+            Category::TokenSmartContract.to_string(),
+            "token smart contract"
+        );
         assert_eq!(Category::SanctionedEntity.to_string(), "sanctioned entity");
         assert_eq!(Category::Mixing.to_string(), "mixing");
         assert_eq!(Category::Scam.to_string(), "scam");

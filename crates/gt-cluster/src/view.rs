@@ -230,7 +230,9 @@ mod tests {
         let mut ledger = BtcLedger::new();
         // Singletons that never co-spend.
         for i in 21..32u8 {
-            ledger.coinbase(addr(i), Amount(10_000), t(i as i64)).unwrap();
+            ledger
+                .coinbase(addr(i), Amount(10_000), t(i as i64))
+                .unwrap();
         }
         // Rolling co-spends: (0,1), (1,2), ... creates one long chain of
         // merges that no single shard sees in full. Each address holds a
@@ -239,7 +241,9 @@ mod tests {
         for i in 0..20u8 {
             let base = 100 + 3 * i as i64;
             ledger.coinbase(addr(i), Amount(30_000), t(base)).unwrap();
-            ledger.coinbase(addr(i + 1), Amount(30_000), t(base + 1)).unwrap();
+            ledger
+                .coinbase(addr(i + 1), Amount(30_000), t(base + 1))
+                .unwrap();
             ledger
                 .pay(
                     &[addr(i), addr(i + 1)],

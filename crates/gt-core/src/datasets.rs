@@ -96,7 +96,11 @@ pub struct YouTubeDataset {
 
 impl YouTubeDataset {
     pub fn table1_row(&self) -> (usize, usize, usize) {
-        (self.domains.len(), self.channels.len(), self.scam_streams.len())
+        (
+            self.domains.len(),
+            self.channels.len(),
+            self.scam_streams.len(),
+        )
     }
 
     pub fn domains_with_coin(&self) -> impl Iterator<Item = &YouTubeDomain> {
@@ -109,10 +113,7 @@ impl YouTubeDataset {
 /// Build the YouTube dataset from a monitoring report: validate every
 /// crawled page, keep scam-validated domains, and attach the observed
 /// spans of the streams that promoted them.
-pub fn build_youtube_dataset(
-    report: &MonitorReport,
-    keywords: &SearchKeywords,
-) -> YouTubeDataset {
+pub fn build_youtube_dataset(report: &MonitorReport, keywords: &SearchKeywords) -> YouTubeDataset {
     // Validate each crawled page, grouped by domain (any validating URL
     // marks the domain).
     let mut validated: BTreeMap<String, ValidatedSite> = BTreeMap::new();

@@ -116,7 +116,11 @@ mod tests {
         let dataset = build_twitter_dataset(&snapshot, &world.scam_db);
         let stats = twitter_discoverability(&dataset, &snapshot);
         assert!(stats.tweets > 1_000);
-        assert!((stats.hashtag_rate - 0.96).abs() < 0.02, "{}", stats.hashtag_rate);
+        assert!(
+            (stats.hashtag_rate - 0.96).abs() < 0.02,
+            "{}",
+            stats.hashtag_rate
+        );
         assert!(stats.mention_rate < 0.01);
         assert!(stats.reply_rate < 0.015);
     }

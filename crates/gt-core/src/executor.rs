@@ -11,6 +11,7 @@
 //! *when* a stage runs, not *what* it sees. The end-to-end determinism
 //! test (`tests/determinism.rs`) pins this down.
 
+use gt_obs::MetricsRegistry;
 use serde::Serialize;
 use std::any::Any;
 use std::collections::VecDeque;
@@ -151,6 +152,15 @@ impl<'env> StageGraph<'env> {
     /// Execute the graph on `threads` workers (0 = available
     /// parallelism) and return every stage output plus timings.
     pub fn run(self, threads: usize) -> StageOutputs {
+        self.run_observed(threads, &MetricsRegistry::disabled())
+    }
+
+    /// [`StageGraph::run`] reporting into a telemetry registry: each
+    /// stage body runs inside a wall-clock span named after the stage,
+    /// and its item count lands on the `(stage, "executor", "items")`
+    /// counter — recorded even when zero, so the metrics block covers
+    /// every stage deterministically.
+    pub fn run_observed(self, threads: usize, obs: &MetricsRegistry) -> StageOutputs {
         let threads = if threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -183,12 +193,30 @@ impl<'env> StageGraph<'env> {
         let stages = &self.stages;
 
         if threads <= 1 || n <= 1 {
-            run_worker(stages, &dependents, &slots, &timings, &sched, &wake, &poison);
+            run_worker(
+                stages,
+                &dependents,
+                &slots,
+                &timings,
+                &sched,
+                &wake,
+                &poison,
+                obs,
+            );
         } else {
             crossbeam::thread::scope(|scope| {
                 for _ in 0..threads.min(n) {
                     scope.spawn(|_| {
-                        run_worker(stages, &dependents, &slots, &timings, &sched, &wake, &poison)
+                        run_worker(
+                            stages,
+                            &dependents,
+                            &slots,
+                            &timings,
+                            &sched,
+                            &wake,
+                            &poison,
+                            obs,
+                        )
                     });
                 }
             })
@@ -202,16 +230,16 @@ impl<'env> StageGraph<'env> {
         }
 
         StageOutputs {
-            slots: slots
-                .into_iter()
-                .map(|cell| cell.into_inner())
-                .collect(),
+            slots: slots.into_iter().map(|cell| cell.into_inner()).collect(),
             timings: StageTimings {
                 threads,
                 total_ms: started.elapsed().as_secs_f64() * 1_000.0,
                 stages: timings
                     .into_iter()
-                    .map(|cell| cell.into_inner().expect("stage never ran (dependency cycle?)"))
+                    .map(|cell| {
+                        cell.into_inner()
+                            .expect("stage never ran (dependency cycle?)")
+                    })
                     .collect(),
             },
         }
@@ -224,6 +252,7 @@ struct Sched {
     remaining: usize,
 }
 
+#[allow(clippy::too_many_arguments)] // internal worker-loop plumbing
 fn run_worker(
     stages: &[Stage<'_>],
     dependents: &[Vec<usize>],
@@ -232,6 +261,7 @@ fn run_worker(
     sched: &Mutex<Sched>,
     wake: &Condvar,
     poison: &Mutex<Option<Box<dyn Any + Send>>>,
+    obs: &MetricsRegistry,
 ) {
     loop {
         let next = {
@@ -255,7 +285,10 @@ fn run_worker(
             .expect("stage scheduled twice");
         let results = StageResults { slots };
         let start = Instant::now();
-        let (value, items) = match catch_unwind(AssertUnwindSafe(|| body(&results))) {
+        let span = obs.span(&stages[next].name, "stage");
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(&results)));
+        drop(span);
+        let (value, items) = match outcome {
             Ok(output) => output,
             Err(payload) => {
                 // First panic wins; poison the run and wake every
@@ -275,6 +308,7 @@ fn run_worker(
             }
         };
         let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
+        obs.counter_add(&stages[next].name, "executor", "items", items);
         let _ = slots[next].set(value);
         let _ = timings[next].set(StageTiming {
             name: stages[next].name.clone(),
@@ -326,9 +360,7 @@ mod tests {
             let a = g.add_stage("a", &[], |_| 2u64);
             let b = g.add_stage("b", &[a.index()], move |r| r.get(a) * 10);
             let c = g.add_stage("c", &[a.index()], move |r| r.get(a) + 5);
-            let d = g.add_stage("d", &[b.index(), c.index()], move |r| {
-                r.get(b) + r.get(c)
-            });
+            let d = g.add_stage("d", &[b.index(), c.index()], move |r| r.get(b) + r.get(c));
             let mut out = g.run(threads);
             assert_eq!(out.take(d), 27, "{threads} threads");
             assert_eq!(out.timings.threads, threads);
@@ -365,9 +397,7 @@ mod tests {
     fn heterogeneous_output_types() {
         let mut g = StageGraph::new();
         let s = g.add_stage("string", &[], |_| "hello".to_string());
-        let v = g.add_stage("vec", &[s.index()], move |r| {
-            vec![r.get(s).len()]
-        });
+        let v = g.add_stage("vec", &[s.index()], move |r| vec![r.get(s).len()]);
         let mut out = g.run(2);
         assert_eq!(out.take(v), vec![5]);
         assert_eq!(out.take(s), "hello");
@@ -387,15 +417,9 @@ mod tests {
         for threads in [1, 2, 4, 8] {
             let mut g = StageGraph::new();
             let a = g.add_stage("a", &[], |_| vec![1u64, 2, 3]);
-            let b = g.add_stage("b", &[a.index()], move |r| {
-                r.get(a).iter().sum::<u64>()
-            });
-            let c = g.add_stage("c", &[a.index()], move |r| {
-                r.get(a).iter().product::<u64>()
-            });
-            let d = g.add_stage("d", &[b.index(), c.index()], move |r| {
-                r.get(b) + r.get(c)
-            });
+            let b = g.add_stage("b", &[a.index()], move |r| r.get(a).iter().sum::<u64>());
+            let c = g.add_stage("c", &[a.index()], move |r| r.get(a).iter().product::<u64>());
+            let d = g.add_stage("d", &[b.index(), c.index()], move |r| r.get(b) + r.get(c));
             let mut out = g.run(threads);
             assert_eq!(out.take(d), 12, "{threads} threads");
         }
@@ -415,9 +439,10 @@ mod tests {
             let out = g.run(threads);
             assert_eq!(out.timings.stages.len(), names.len());
             for name in names {
-                let t = out.timings.stage(name).unwrap_or_else(|| {
-                    panic!("no timing for stage {name:?} at {threads} threads")
-                });
+                let t = out
+                    .timings
+                    .stage(name)
+                    .unwrap_or_else(|| panic!("no timing for stage {name:?} at {threads} threads"));
                 assert!(t.wall_ms >= 0.0);
             }
         }

@@ -19,9 +19,9 @@
 //! * [`report`] — the paper-vs-measured experiment report.
 
 pub mod currencies;
-pub mod executor;
 pub mod datasets;
 pub mod discover;
+pub mod executor;
 pub mod fig5;
 pub mod interventions;
 pub mod payments;
@@ -36,6 +36,4 @@ pub use executor::{StageGraph, StageId, StageOutputs, StageResults, StageTiming,
 pub use pipeline::{
     ChainAnalysis, DegradationReport, PaperRun, Pipeline, PipelineOptions, StageDegradation,
 };
-#[allow(deprecated)]
-pub use pipeline::run_paper_pipeline;
 pub use report::PaperReport;

@@ -240,15 +240,19 @@ pub fn analyze_twitter_with_window<C: ChainReads>(
         .domains
         .iter()
         .map(|d| {
-            let windows: Vec<(SimTime, SimTime)> = d
-                .tweet_times
-                .iter()
-                .map(|&t| (t, t + window))
-                .collect();
+            let windows: Vec<(SimTime, SimTime)> =
+                d.tweet_times.iter().map(|&t| (t, t + window)).collect();
             (d.domain.clone(), d.addresses.clone(), windows)
         })
         .collect();
-    isolate(domains, chains, prices, tags, clustering, known_scam_addresses)
+    isolate(
+        domains,
+        chains,
+        prices,
+        tags,
+        clustering,
+        known_scam_addresses,
+    )
 }
 
 /// Run payment isolation for the YouTube dataset: a payment co-occurs
@@ -270,14 +274,17 @@ pub fn analyze_youtube<C: ChainReads>(
                 .iter()
                 .map(|&(start, end)| (start, end + STREAM_TAIL_WINDOW))
                 .collect();
-            (
-                d.domain.clone(),
-                d.validation.addresses.clone(),
-                windows,
-            )
+            (d.domain.clone(), d.validation.addresses.clone(), windows)
         })
         .collect();
-    isolate(domains, chains, prices, tags, clustering, known_scam_addresses)
+    isolate(
+        domains,
+        chains,
+        prices,
+        tags,
+        clustering,
+        known_scam_addresses,
+    )
 }
 
 #[cfg(test)]
@@ -309,10 +316,20 @@ mod tests {
     }
 
     fn pay(chains: &mut ChainView, from: u8, to: u8, amount: u64, at: SimTime) {
-        chains.btc.coinbase(btc(from), Amount(amount * 2), at).unwrap();
         chains
             .btc
-            .pay(&[btc(from)], btc(to), Amount(amount), btc(from), Amount(100), at)
+            .coinbase(btc(from), Amount(amount * 2), at)
+            .unwrap();
+        chains
+            .btc
+            .pay(
+                &[btc(from)],
+                btc(to),
+                Amount(amount),
+                btc(from),
+                Amount(100),
+                at,
+            )
             .unwrap();
     }
 
@@ -379,7 +396,13 @@ mod tests {
     #[test]
     fn unpaid_domains_counted() {
         let (chains, prices, tags) = setup();
-        let analysis = analyze(&chains, &prices, &tags, vec![(t(0, 0), t(7, 0))], &HashSet::new());
+        let analysis = analyze(
+            &chains,
+            &prices,
+            &tags,
+            vec![(t(0, 0), t(7, 0))],
+            &HashSet::new(),
+        );
         assert_eq!(analysis.funnel.domains_with_coin, 1);
         assert_eq!(analysis.funnel.domains_paid, 0);
         assert_eq!(analysis.funnel.payments_any, 0);

@@ -25,18 +25,25 @@ use crate::{currencies, discover, fig5, scammers, victims};
 use gt_addr::Address;
 use gt_chain::RpcView;
 use gt_cluster::{ClusterView, ClusteringOptions, TagResolver};
+use gt_obs::{MetricsRegistry, TelemetrySnapshot};
 use gt_sim::faults::{ChaosProfile, DegradationStats, FaultPlan, RetryPolicy};
 use gt_sim::SimDuration;
 use gt_stream::keywords::search_keyword_set;
 use gt_stream::monitor::{Monitor, MonitorConfig, MonitorReport};
 use gt_stream::pilot::{qr_persistence, qr_stats};
-use gt_stream::twitch::run_twitch_pilot_with_faults;
+use gt_stream::twitch::run_twitch_pilot_observed;
 use gt_world::World;
 use serde::Serialize;
 use std::collections::{HashMap, HashSet};
 
 /// Tuning knobs for a pipeline run.
+///
+/// `#[non_exhaustive]` so new knobs can land without breaking callers:
+/// construct via [`PipelineOptions::default`] and chain the fluent
+/// setters —
+/// `PipelineOptions::default().threads(8).chaos(seed, &profile).telemetry(true)`.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct PipelineOptions {
     /// Worker threads for the stage executor and the sharded cluster
     /// build. `0` means the machine's available parallelism.
@@ -51,9 +58,18 @@ pub struct PipelineOptions {
     pub intervention_lags: Vec<SimDuration>,
     /// Fault schedule every substrate consults; `None` runs clean.
     /// The clean run is byte-identical to pre-fault-layer behavior.
+    /// Takes precedence over [`PipelineOptions::chaos`].
     pub fault_plan: Option<FaultPlan>,
+    /// Generate a fault plan from `(seed, profile)` over the world's
+    /// measurement span at run time. Ignored when an explicit
+    /// [`PipelineOptions::fault_plan`] is set.
+    pub chaos: Option<(u64, ChaosProfile)>,
     /// Retry/backoff policy for fault-gated calls.
     pub retry: RetryPolicy,
+    /// Collect deterministic metrics and wall-clock spans into
+    /// [`PaperRun::telemetry`] (on by default; cheap enough for
+    /// every run — see the gt-bench overhead guard).
+    pub telemetry: bool,
 }
 
 impl Default for PipelineOptions {
@@ -71,8 +87,62 @@ impl Default for PipelineOptions {
                 SimDuration::days(7),
             ],
             fault_plan: None,
+            chaos: None,
             retry: RetryPolicy::default(),
+            telemetry: true,
         }
+    }
+}
+
+impl PipelineOptions {
+    /// Set the worker-thread count (0 = available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Skip the pilot study.
+    pub fn skip_pilot(mut self, skip: bool) -> Self {
+        self.skip_pilot = skip;
+        self
+    }
+
+    /// Skip the intervention lag sweep.
+    pub fn skip_interventions(mut self, skip: bool) -> Self {
+        self.skip_interventions = skip;
+        self
+    }
+
+    /// Use custom detection lags for the intervention sweep.
+    pub fn intervention_lags(mut self, lags: &[SimDuration]) -> Self {
+        self.intervention_lags = lags.to_vec();
+        self
+    }
+
+    /// Attach (or clear) an explicit fault plan.
+    pub fn fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Request a generated fault plan: seeded from `seed` with rates
+    /// from `profile`, spanning the world's measurement window (the
+    /// span itself is only known at [`Pipeline::run`] time).
+    pub fn chaos(mut self, seed: u64, profile: &ChaosProfile) -> Self {
+        self.chaos = Some((seed, *profile));
+        self
+    }
+
+    /// Override the retry/backoff policy used under faults.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enable or disable telemetry collection.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
     }
 }
 
@@ -125,6 +195,10 @@ pub struct PaperRun {
     pub timings: StageTimings,
     /// Injected-fault accounting (all zero / disabled on clean runs).
     pub degradation: DegradationReport,
+    /// Deterministic metrics plus wall-clock spans (disabled/empty when
+    /// [`PipelineOptions::telemetry`] is off). Like `timings`, this
+    /// never feeds [`PaperReport`].
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// Builder for a pipeline run over one generated world.
@@ -149,37 +223,43 @@ impl<'w> Pipeline<'w> {
 
     /// Set the worker-thread count (0 = available parallelism).
     pub fn threads(mut self, threads: usize) -> Self {
-        self.options.threads = threads;
+        self.options = self.options.threads(threads);
         self
     }
 
     /// Skip the pilot study.
     pub fn skip_pilot(mut self, skip: bool) -> Self {
-        self.options.skip_pilot = skip;
+        self.options = self.options.skip_pilot(skip);
         self
     }
 
     /// Skip the intervention lag sweep.
     pub fn skip_interventions(mut self, skip: bool) -> Self {
-        self.options.skip_interventions = skip;
+        self.options = self.options.skip_interventions(skip);
         self
     }
 
     /// Use custom detection lags for the intervention sweep.
     pub fn intervention_lags(mut self, lags: &[SimDuration]) -> Self {
-        self.options.intervention_lags = lags.to_vec();
+        self.options = self.options.intervention_lags(lags);
         self
     }
 
     /// Attach (or clear) a fault plan.
     pub fn fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
-        self.options.fault_plan = plan;
+        self.options = self.options.fault_plan(plan);
         self
     }
 
     /// Override the retry/backoff policy used under faults.
     pub fn retry(mut self, retry: RetryPolicy) -> Self {
-        self.options.retry = retry;
+        self.options = self.options.retry(retry);
+        self
+    }
+
+    /// Enable or disable telemetry collection.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.options = self.options.telemetry(enabled);
         self
     }
 
@@ -187,12 +267,9 @@ impl<'w> Pipeline<'w> {
     /// world's full measurement span, extended past the end of
     /// collection so the RPC backfill reads (whose virtual cursor
     /// starts at `youtube_end`) have a fault surface too.
-    pub fn chaos(self, seed: u64, profile: &ChaosProfile) -> Self {
-        let c = &self.world.config;
-        let span_start = c.twitter_start.min(c.pilot_start);
-        let span_end = c.twitter_end.max(c.youtube_end) + SimDuration::days(14);
-        let plan = FaultPlan::generate(seed, span_start, span_end, profile);
-        self.fault_plan(Some(plan))
+    pub fn chaos(mut self, seed: u64, profile: &ChaosProfile) -> Self {
+        self.options = self.options.chaos(seed, profile);
+        self
     }
 
     /// Run the full pipeline.
@@ -209,8 +286,23 @@ impl<'w> Pipeline<'w> {
         let skip_pilot = self.options.skip_pilot;
         let skip_interventions = self.options.skip_interventions;
         let lags = self.options.intervention_lags.clone();
-        let plan = self.options.fault_plan.clone();
+        // An explicit plan wins; otherwise a chaos request generates
+        // one over the measurement span, extended past the end of
+        // collection so the RPC backfill reads (whose virtual cursor
+        // starts at `youtube_end`) have a fault surface too.
+        let plan = self.options.fault_plan.clone().or_else(|| {
+            self.options.chaos.as_ref().map(|(seed, profile)| {
+                let span_start = config.twitter_start.min(config.pilot_start);
+                let span_end = config.twitter_end.max(config.youtube_end) + SimDuration::days(14);
+                FaultPlan::generate(*seed, span_start, span_end, profile)
+            })
+        });
         let retry = self.options.retry;
+        let obs = if self.options.telemetry {
+            MetricsRegistry::new()
+        } else {
+            MetricsRegistry::disabled()
+        };
         // RPC backfill reads start once collection has finished.
         let rpc_epoch = config.youtube_end;
 
@@ -224,6 +316,7 @@ impl<'w> Pipeline<'w> {
         });
 
         let pilot_plan = plan.clone();
+        let pilot_sink = obs.sink("pilot_monitor");
         let pilot = g.add_stage_with_items("pilot_monitor", &[], move |_| {
             if skip_pilot {
                 return (MonitorReport::default(), 0);
@@ -231,6 +324,7 @@ impl<'w> Pipeline<'w> {
             let mut cfg = MonitorConfig::paper(config.pilot_start, config.pilot_end);
             cfg.fault_plan = pilot_plan.clone();
             cfg.retry = retry;
+            cfg.sink = pilot_sink;
             let monitor = Monitor::new(cfg, search_keyword_set());
             let report = monitor.run(&world.youtube, &world.web);
             let streams = report.streams.len() as u64;
@@ -238,45 +332,54 @@ impl<'w> Pipeline<'w> {
         });
 
         let monitor_plan = plan.clone();
+        let monitor_sink = obs.sink("main_monitor");
         let main_monitor = g.add_stage_with_items("main_monitor", &[], move |_| {
             let mut cfg = MonitorConfig::paper(config.youtube_start, config.youtube_end);
             cfg.fault_plan = monitor_plan.clone();
             cfg.retry = retry;
+            cfg.sink = monitor_sink;
             let monitor = Monitor::new(cfg, search_keyword_set());
             let report = monitor.run(&world.youtube, &world.web);
             let streams = report.streams.len() as u64;
             (report, streams)
         });
 
+        let chain_sink = obs.sink("chain_analysis");
         let chain = g.add_stage_with_items("chain_analysis", &[], move |_| {
-            let view =
-                ClusterView::build_par(&world.chains.btc, ClusteringOptions::default(), threads);
-            let resolver = world.tags.resolver(&view);
+            let view = {
+                let _span = chain_sink.span("cluster.build");
+                ClusterView::build_par(&world.chains.btc, ClusteringOptions::default(), threads)
+            };
+            let resolver = {
+                let _span = chain_sink.span("tags.resolve");
+                world.tags.resolver(&view)
+            };
             let txs = world.chains.btc.tx_count();
+            chain_sink.counter_add("cluster", "transactions", txs);
+            chain_sink.counter_add("cluster", "clusters", view.cluster_count() as u64);
             (ChainAnalysis { view, resolver }, txs)
         });
 
         let twitch_plan = plan.clone();
+        let twitch_sink = obs.sink("twitch_pilot");
         let twitch = g.add_stage("twitch_pilot", &[], move |_| {
-            run_twitch_pilot_with_faults(
+            run_twitch_pilot_observed(
                 &world.twitch,
                 config.pilot_start,
                 config.pilot_end,
                 twitch_plan.as_ref(),
                 retry,
+                twitch_sink,
             )
         });
 
         // ---- dataset assembly and the known-scam address set ----
-        let youtube_ds = g.add_stage_with_items(
-            "youtube_dataset",
-            &[main_monitor.index()],
-            move |r| {
+        let youtube_ds =
+            g.add_stage_with_items("youtube_dataset", &[main_monitor.index()], move |r| {
                 let ds = build_youtube_dataset(r.get(main_monitor), &search_keyword_set());
                 let domains = ds.domains.len() as u64;
                 (ds, domains)
-            },
-        );
+            });
 
         let known_scam = g.add_stage(
             "known_scam_addresses",
@@ -295,39 +398,44 @@ impl<'w> Pipeline<'w> {
 
         // ---- per-platform payment isolation (Sections 5.1–5.3) ----
         let twitter_plan = plan.clone();
+        let twitter_sink = obs.sink("twitter_payments");
         let twitter_an = g.add_stage_with_items(
             "twitter_payments",
             &[twitter_ds.index(), chain.index(), known_scam.index()],
             move |r| {
                 let ca = r.get(chain);
-                let analysis = match &twitter_plan {
-                    Some(p) => {
-                        let rpc = RpcView::new(
-                            &world.chains,
-                            Some(p),
-                            "rpc.twitter",
-                            retry,
-                            rpc_epoch,
-                        );
-                        let mut a = analyze_twitter(
-                            r.get(twitter_ds),
-                            &rpc,
-                            &world.prices,
-                            &ca.resolver,
-                            &ca.view,
-                            r.get(known_scam),
-                        );
-                        a.degradation = rpc.stats();
-                        a
-                    }
-                    None => analyze_twitter(
+                // The RPC facade is engaged whenever it has work to do:
+                // a fault plan to consult or telemetry to report. A
+                // clean RpcView serves identical data, so the report is
+                // unchanged either way.
+                let analysis = if twitter_plan.is_some() || twitter_sink.enabled() {
+                    let rpc = RpcView::observed(
+                        &world.chains,
+                        twitter_plan.as_ref(),
+                        "rpc.twitter",
+                        retry,
+                        rpc_epoch,
+                        twitter_sink.clone(),
+                    );
+                    let mut a = analyze_twitter(
+                        r.get(twitter_ds),
+                        &rpc,
+                        &world.prices,
+                        &ca.resolver,
+                        &ca.view,
+                        r.get(known_scam),
+                    );
+                    a.degradation = rpc.stats();
+                    a
+                } else {
+                    analyze_twitter(
                         r.get(twitter_ds),
                         &world.chains,
                         &world.prices,
                         &ca.resolver,
                         &ca.view,
                         r.get(known_scam),
-                    ),
+                    )
                 };
                 let payments = analysis.funnel.payments_any as u64;
                 (analysis, payments)
@@ -335,39 +443,40 @@ impl<'w> Pipeline<'w> {
         );
 
         let youtube_plan = plan.clone();
+        let youtube_sink = obs.sink("youtube_payments");
         let youtube_an = g.add_stage_with_items(
             "youtube_payments",
             &[youtube_ds.index(), chain.index(), known_scam.index()],
             move |r| {
                 let ca = r.get(chain);
-                let analysis = match &youtube_plan {
-                    Some(p) => {
-                        let rpc = RpcView::new(
-                            &world.chains,
-                            Some(p),
-                            "rpc.youtube",
-                            retry,
-                            rpc_epoch,
-                        );
-                        let mut a = analyze_youtube(
-                            r.get(youtube_ds),
-                            &rpc,
-                            &world.prices,
-                            &ca.resolver,
-                            &ca.view,
-                            r.get(known_scam),
-                        );
-                        a.degradation = rpc.stats();
-                        a
-                    }
-                    None => analyze_youtube(
+                let analysis = if youtube_plan.is_some() || youtube_sink.enabled() {
+                    let rpc = RpcView::observed(
+                        &world.chains,
+                        youtube_plan.as_ref(),
+                        "rpc.youtube",
+                        retry,
+                        rpc_epoch,
+                        youtube_sink.clone(),
+                    );
+                    let mut a = analyze_youtube(
+                        r.get(youtube_ds),
+                        &rpc,
+                        &world.prices,
+                        &ca.resolver,
+                        &ca.view,
+                        r.get(known_scam),
+                    );
+                    a.degradation = rpc.stats();
+                    a
+                } else {
+                    analyze_youtube(
                         r.get(youtube_ds),
                         &world.chains,
                         &world.prices,
                         &ca.resolver,
                         &ca.view,
                         r.get(known_scam),
-                    ),
+                    )
                 };
                 let payments = analysis.funnel.payments_any as u64;
                 (analysis, payments)
@@ -435,9 +544,7 @@ impl<'w> Pipeline<'w> {
         let twitter_conversions = g.add_stage(
             "twitter_conversions",
             &[twitter_an.index(), twitter_ds.index()],
-            move |r| {
-                victims::conversions(r.get(twitter_an), r.get(twitter_ds).tweet_count as u64)
-            },
+            move |r| victims::conversions(r.get(twitter_an), r.get(twitter_ds).tweet_count as u64),
         );
         let youtube_conversions = g.add_stage(
             "youtube_conversions",
@@ -489,34 +596,28 @@ impl<'w> Pipeline<'w> {
             },
         );
         let outgoing_plan = plan.clone();
+        let outgoing_sink = obs.sink("outgoing_stats");
         let outgoing = g.add_stage(
             "outgoing_stats",
             &[twitter_an.index(), youtube_an.index(), chain.index()],
             move |r| {
                 let ca = r.get(chain);
                 let analyses = [r.get(twitter_an), r.get(youtube_an)];
-                match &outgoing_plan {
-                    Some(p) => {
-                        let rpc = RpcView::new(
-                            &world.chains,
-                            Some(p),
-                            "rpc.outgoing",
-                            retry,
-                            rpc_epoch,
-                        );
-                        let stats =
-                            scammers::outgoing_stats(&analyses, &rpc, &ca.resolver, &ca.view);
-                        (stats, rpc.stats())
-                    }
-                    None => {
-                        let stats = scammers::outgoing_stats(
-                            &analyses,
-                            &world.chains,
-                            &ca.resolver,
-                            &ca.view,
-                        );
-                        (stats, DegradationStats::default())
-                    }
+                if outgoing_plan.is_some() || outgoing_sink.enabled() {
+                    let rpc = RpcView::observed(
+                        &world.chains,
+                        outgoing_plan.as_ref(),
+                        "rpc.outgoing",
+                        retry,
+                        rpc_epoch,
+                        outgoing_sink.clone(),
+                    );
+                    let stats = scammers::outgoing_stats(&analyses, &rpc, &ca.resolver, &ca.view);
+                    (stats, rpc.stats())
+                } else {
+                    let stats =
+                        scammers::outgoing_stats(&analyses, &world.chains, &ca.resolver, &ca.view);
+                    (stats, DegradationStats::default())
                 }
             },
         );
@@ -556,7 +657,7 @@ impl<'w> Pipeline<'w> {
         );
 
         // ---- execute the DAG and assemble the report ----
-        let mut out = g.run(threads);
+        let mut out = g.run_observed(threads, &obs);
 
         let twitter_dataset = out.take(twitter_ds);
         let youtube_dataset = out.take(youtube_ds);
@@ -568,7 +669,7 @@ impl<'w> Pipeline<'w> {
         let (outgoing_stats, outgoing_deg) = out.take(outgoing);
 
         let mut degradation = DegradationReport {
-            enabled: self.options.fault_plan.is_some(),
+            enabled: plan.is_some(),
             ..Default::default()
         };
         degradation.push("pilot_monitor", pilot_report.degradation);
@@ -619,12 +720,7 @@ impl<'w> Pipeline<'w> {
             youtube_analysis,
             timings: out.timings,
             degradation,
+            telemetry: obs.snapshot(),
         }
     }
-}
-
-/// Run the full pipeline with default options.
-#[deprecated(note = "use `Pipeline::new(world).run()` (optionally with `PipelineOptions`)")]
-pub fn run_paper_pipeline(world: &World) -> PaperRun {
-    Pipeline::new(world).run()
 }

@@ -101,7 +101,14 @@ impl PaperReport {
     pub fn compare_with_paper(&self, scale: f64) -> Vec<ComparisonRow> {
         use gt_world::calibration as cal;
         let mut rows: Vec<ComparisonRow> = Vec::new();
-        fn push(rows: &mut Vec<ComparisonRow>, artifact: &str, metric: &str, paper: f64, measured: f64, paper_scaled: f64) {
+        fn push(
+            rows: &mut Vec<ComparisonRow>,
+            artifact: &str,
+            metric: &str,
+            paper: f64,
+            measured: f64,
+            paper_scaled: f64,
+        ) {
             rows.push(ComparisonRow {
                 artifact: artifact.to_string(),
                 metric: metric.to_string(),
@@ -123,83 +130,368 @@ impl PaperReport {
         }
 
         let t1 = &self.table1;
-        count!("T1", "twitter domains", cal::datasets::TWITTER_DOMAINS as f64, t1.twitter_domains as f64);
-        count!("T1", "twitter accounts", cal::datasets::TWITTER_ACCOUNTS as f64, t1.twitter_accounts as f64);
-        count!("T1", "twitter artifacts", cal::datasets::TWITTER_ARTIFACTS as f64, t1.twitter_artifacts as f64);
-        count!("T1", "youtube domains", cal::datasets::YOUTUBE_DOMAINS as f64, t1.youtube_domains as f64);
-        count!("T1", "youtube accounts", cal::datasets::YOUTUBE_ACCOUNTS as f64, t1.youtube_accounts as f64);
-        count!("T1", "youtube artifacts", cal::datasets::YOUTUBE_ARTIFACTS as f64, t1.youtube_artifacts as f64);
+        count!(
+            "T1",
+            "twitter domains",
+            cal::datasets::TWITTER_DOMAINS as f64,
+            t1.twitter_domains as f64
+        );
+        count!(
+            "T1",
+            "twitter accounts",
+            cal::datasets::TWITTER_ACCOUNTS as f64,
+            t1.twitter_accounts as f64
+        );
+        count!(
+            "T1",
+            "twitter artifacts",
+            cal::datasets::TWITTER_ARTIFACTS as f64,
+            t1.twitter_artifacts as f64
+        );
+        count!(
+            "T1",
+            "youtube domains",
+            cal::datasets::YOUTUBE_DOMAINS as f64,
+            t1.youtube_domains as f64
+        );
+        count!(
+            "T1",
+            "youtube accounts",
+            cal::datasets::YOUTUBE_ACCOUNTS as f64,
+            t1.youtube_accounts as f64
+        );
+        count!(
+            "T1",
+            "youtube artifacts",
+            cal::datasets::YOUTUBE_ARTIFACTS as f64,
+            t1.youtube_artifacts as f64
+        );
 
-        count!("T2", "twitter payments (co-occurring)", cal::payments::TWITTER_PAYMENTS as f64, self.twitter_revenue.payments_co_occurring as f64);
-        count!("T2", "twitter payments (any)", cal::payments::TWITTER_PAYMENTS_ANY as f64, self.twitter_revenue.payments_any as f64);
-        count!("T2", "twitter USD (co-occurring)", cal::payments::TWITTER_REVENUE, self.twitter_revenue.usd_co_occurring);
-        count!("T2", "twitter USD from BTC", cal::payments::TWITTER_REVENUE_BTC, self.twitter_revenue.usd_btc);
-        count!("T2", "twitter USD from ETH", cal::payments::TWITTER_REVENUE_ETH, self.twitter_revenue.usd_eth);
-        count!("T2", "twitter USD from XRP", cal::payments::TWITTER_REVENUE_XRP, self.twitter_revenue.usd_xrp);
-        count!("T2", "twitter USD (any)", cal::payments::TWITTER_REVENUE_ANY, self.twitter_revenue.usd_any);
-        count!("T2", "youtube payments (co-occurring)", cal::payments::YOUTUBE_PAYMENTS as f64, self.youtube_revenue.payments_co_occurring as f64);
-        count!("T2", "youtube payments (any)", cal::payments::YOUTUBE_PAYMENTS_ANY as f64, self.youtube_revenue.payments_any as f64);
-        count!("T2", "youtube USD (co-occurring)", cal::payments::YOUTUBE_REVENUE, self.youtube_revenue.usd_co_occurring);
-        count!("T2", "youtube USD from BTC", cal::payments::YOUTUBE_REVENUE_BTC, self.youtube_revenue.usd_btc);
-        count!("T2", "youtube USD from ETH", cal::payments::YOUTUBE_REVENUE_ETH, self.youtube_revenue.usd_eth);
-        count!("T2", "youtube USD from XRP", cal::payments::YOUTUBE_REVENUE_XRP, self.youtube_revenue.usd_xrp);
-        count!("T2", "youtube USD (any)", cal::payments::YOUTUBE_REVENUE_ANY, self.youtube_revenue.usd_any);
+        count!(
+            "T2",
+            "twitter payments (co-occurring)",
+            cal::payments::TWITTER_PAYMENTS as f64,
+            self.twitter_revenue.payments_co_occurring as f64
+        );
+        count!(
+            "T2",
+            "twitter payments (any)",
+            cal::payments::TWITTER_PAYMENTS_ANY as f64,
+            self.twitter_revenue.payments_any as f64
+        );
+        count!(
+            "T2",
+            "twitter USD (co-occurring)",
+            cal::payments::TWITTER_REVENUE,
+            self.twitter_revenue.usd_co_occurring
+        );
+        count!(
+            "T2",
+            "twitter USD from BTC",
+            cal::payments::TWITTER_REVENUE_BTC,
+            self.twitter_revenue.usd_btc
+        );
+        count!(
+            "T2",
+            "twitter USD from ETH",
+            cal::payments::TWITTER_REVENUE_ETH,
+            self.twitter_revenue.usd_eth
+        );
+        count!(
+            "T2",
+            "twitter USD from XRP",
+            cal::payments::TWITTER_REVENUE_XRP,
+            self.twitter_revenue.usd_xrp
+        );
+        count!(
+            "T2",
+            "twitter USD (any)",
+            cal::payments::TWITTER_REVENUE_ANY,
+            self.twitter_revenue.usd_any
+        );
+        count!(
+            "T2",
+            "youtube payments (co-occurring)",
+            cal::payments::YOUTUBE_PAYMENTS as f64,
+            self.youtube_revenue.payments_co_occurring as f64
+        );
+        count!(
+            "T2",
+            "youtube payments (any)",
+            cal::payments::YOUTUBE_PAYMENTS_ANY as f64,
+            self.youtube_revenue.payments_any as f64
+        );
+        count!(
+            "T2",
+            "youtube USD (co-occurring)",
+            cal::payments::YOUTUBE_REVENUE,
+            self.youtube_revenue.usd_co_occurring
+        );
+        count!(
+            "T2",
+            "youtube USD from BTC",
+            cal::payments::YOUTUBE_REVENUE_BTC,
+            self.youtube_revenue.usd_btc
+        );
+        count!(
+            "T2",
+            "youtube USD from ETH",
+            cal::payments::YOUTUBE_REVENUE_ETH,
+            self.youtube_revenue.usd_eth
+        );
+        count!(
+            "T2",
+            "youtube USD from XRP",
+            cal::payments::YOUTUBE_REVENUE_XRP,
+            self.youtube_revenue.usd_xrp
+        );
+        count!(
+            "T2",
+            "youtube USD (any)",
+            cal::payments::YOUTUBE_REVENUE_ANY,
+            self.youtube_revenue.usd_any
+        );
 
-        count!("F3", "twitter peak week", cal::lures::TWITTER_PEAK_WEEK as f64, self.twitter_weekly.peak().count as f64);
-        count!("F4", "youtube peak week streams", cal::lures::YOUTUBE_PEAK_STREAMS as f64, self.youtube_weekly.peak().count as f64);
-        count!("F4", "youtube peak week views", cal::lures::YOUTUBE_PEAK_VIEWS as f64, self.youtube_weekly.peak_views().views as f64);
+        count!(
+            "F3",
+            "twitter peak week",
+            cal::lures::TWITTER_PEAK_WEEK as f64,
+            self.twitter_weekly.peak().count as f64
+        );
+        count!(
+            "F4",
+            "youtube peak week streams",
+            cal::lures::YOUTUBE_PEAK_STREAMS as f64,
+            self.youtube_weekly.peak().count as f64
+        );
+        count!(
+            "F4",
+            "youtube peak week views",
+            cal::lures::YOUTUBE_PEAK_VIEWS as f64,
+            self.youtube_weekly.peak_views().views as f64
+        );
 
-        rate!("S4.2", "hashtag rate", cal::lures::HASHTAG_RATE, self.twitter_discover.hashtag_rate);
-        rate!("S4.2", "mention rate", cal::lures::MENTION_RATE, self.twitter_discover.mention_rate);
-        rate!("S4.2", "reply rate", cal::lures::REPLY_RATE, self.twitter_discover.reply_rate);
-        rate!("S4.2", "channel subscribers median", cal::lures::CHANNEL_SUBSCRIBERS_MEDIAN as f64, self.youtube_discover.channel_subscribers_median as f64);
-        rate!("S4.2", "stream keyword rate", cal::lures::STREAM_KEYWORD_RATE, self.youtube_discover.keyword_rate);
+        rate!(
+            "S4.2",
+            "hashtag rate",
+            cal::lures::HASHTAG_RATE,
+            self.twitter_discover.hashtag_rate
+        );
+        rate!(
+            "S4.2",
+            "mention rate",
+            cal::lures::MENTION_RATE,
+            self.twitter_discover.mention_rate
+        );
+        rate!(
+            "S4.2",
+            "reply rate",
+            cal::lures::REPLY_RATE,
+            self.twitter_discover.reply_rate
+        );
+        rate!(
+            "S4.2",
+            "channel subscribers median",
+            cal::lures::CHANNEL_SUBSCRIBERS_MEDIAN as f64,
+            self.youtube_discover.channel_subscribers_median as f64
+        );
+        rate!(
+            "S4.2",
+            "stream keyword rate",
+            cal::lures::STREAM_KEYWORD_RATE,
+            self.youtube_discover.keyword_rate
+        );
 
         for (coin, paper_rate) in cal::lures::TWITTER_COIN_RATES {
-            rate!("S4.3", &format!("twitter {coin} rate"), paper_rate, self.twitter_coins.rate_of(coin));
+            rate!(
+                "S4.3",
+                &format!("twitter {coin} rate"),
+                paper_rate,
+                self.twitter_coins.rate_of(coin)
+            );
         }
         for (coin, paper_rate) in cal::lures::YOUTUBE_COIN_RATES {
-            rate!("S4.3", &format!("youtube {coin} rate"), paper_rate, self.youtube_coins.rate_of(coin));
+            rate!(
+                "S4.3",
+                &format!("youtube {coin} rate"),
+                paper_rate,
+                self.youtube_coins.rate_of(coin)
+            );
         }
 
-        count!("S5.2", "twitter domains w/ coin addr", cal::payments::TWITTER_DOMAINS_WITH_COIN as f64, self.twitter_funnel.domains_with_coin as f64);
-        count!("S5.2", "twitter domains paid", cal::payments::TWITTER_DOMAINS_PAID as f64, self.twitter_funnel.domains_paid as f64);
-        count!("S5.2", "twitter addresses", cal::payments::TWITTER_ADDRESSES as f64, self.twitter_funnel.distinct_addresses as f64);
-        count!("S5.2", "twitter consolidations removed", cal::payments::TWITTER_CONSOLIDATIONS as f64, self.twitter_funnel.consolidations_removed as f64);
-        count!("S5.3", "youtube domains w/ coin addr", cal::payments::YOUTUBE_DOMAINS_WITH_COIN as f64, self.youtube_funnel.domains_with_coin as f64);
-        count!("S5.3", "youtube domains paid", cal::payments::YOUTUBE_DOMAINS_PAID as f64, self.youtube_funnel.domains_paid as f64);
-        count!("S5.3", "youtube consolidations removed", cal::payments::YOUTUBE_CONSOLIDATIONS as f64, self.youtube_funnel.consolidations_removed as f64);
+        count!(
+            "S5.2",
+            "twitter domains w/ coin addr",
+            cal::payments::TWITTER_DOMAINS_WITH_COIN as f64,
+            self.twitter_funnel.domains_with_coin as f64
+        );
+        count!(
+            "S5.2",
+            "twitter domains paid",
+            cal::payments::TWITTER_DOMAINS_PAID as f64,
+            self.twitter_funnel.domains_paid as f64
+        );
+        count!(
+            "S5.2",
+            "twitter addresses",
+            cal::payments::TWITTER_ADDRESSES as f64,
+            self.twitter_funnel.distinct_addresses as f64
+        );
+        count!(
+            "S5.2",
+            "twitter consolidations removed",
+            cal::payments::TWITTER_CONSOLIDATIONS as f64,
+            self.twitter_funnel.consolidations_removed as f64
+        );
+        count!(
+            "S5.3",
+            "youtube domains w/ coin addr",
+            cal::payments::YOUTUBE_DOMAINS_WITH_COIN as f64,
+            self.youtube_funnel.domains_with_coin as f64
+        );
+        count!(
+            "S5.3",
+            "youtube domains paid",
+            cal::payments::YOUTUBE_DOMAINS_PAID as f64,
+            self.youtube_funnel.domains_paid as f64
+        );
+        count!(
+            "S5.3",
+            "youtube consolidations removed",
+            cal::payments::YOUTUBE_CONSOLIDATIONS as f64,
+            self.youtube_funnel.consolidations_removed as f64
+        );
 
-        count!("S5.4", "twitter unique senders", cal::payments::TWITTER_SENDERS as f64, self.twitter_conversions.unique_senders as f64);
-        count!("S5.4", "youtube unique senders", cal::payments::YOUTUBE_SENDERS as f64, self.youtube_conversions.unique_senders as f64);
-        rate!("S5.4", "twitter conversion rate", cal::payments::TWITTER_CONVERSION, self.twitter_conversions.rate);
-        rate!("S5.4", "youtube conversion rate", cal::payments::YOUTUBE_CONVERSION, self.youtube_conversions.rate);
-        rate!("S5.4", "exchange origin rate", cal::payments::EXCHANGE_ORIGIN_RATE, self.origins.exchange_rate);
-        count!("S5.4", "twitter top-k for 50% value", cal::payments::TWITTER_TOP_FOR_HALF as f64, self.twitter_whales.top_for_half as f64);
-        count!("S5.4", "twitter top-k for 90% value", cal::payments::TWITTER_TOP_FOR_90PCT as f64, self.twitter_whales.top_for_90pct as f64);
-        count!("S5.4", "youtube top-k for 50% value", cal::payments::YOUTUBE_TOP_FOR_HALF as f64, self.youtube_whales.top_for_half as f64);
-        count!("S5.4", "youtube top-k for 90% value", cal::payments::YOUTUBE_TOP_FOR_90PCT as f64, self.youtube_whales.top_for_90pct as f64);
+        count!(
+            "S5.4",
+            "twitter unique senders",
+            cal::payments::TWITTER_SENDERS as f64,
+            self.twitter_conversions.unique_senders as f64
+        );
+        count!(
+            "S5.4",
+            "youtube unique senders",
+            cal::payments::YOUTUBE_SENDERS as f64,
+            self.youtube_conversions.unique_senders as f64
+        );
+        rate!(
+            "S5.4",
+            "twitter conversion rate",
+            cal::payments::TWITTER_CONVERSION,
+            self.twitter_conversions.rate
+        );
+        rate!(
+            "S5.4",
+            "youtube conversion rate",
+            cal::payments::YOUTUBE_CONVERSION,
+            self.youtube_conversions.rate
+        );
+        rate!(
+            "S5.4",
+            "exchange origin rate",
+            cal::payments::EXCHANGE_ORIGIN_RATE,
+            self.origins.exchange_rate
+        );
+        count!(
+            "S5.4",
+            "twitter top-k for 50% value",
+            cal::payments::TWITTER_TOP_FOR_HALF as f64,
+            self.twitter_whales.top_for_half as f64
+        );
+        count!(
+            "S5.4",
+            "twitter top-k for 90% value",
+            cal::payments::TWITTER_TOP_FOR_90PCT as f64,
+            self.twitter_whales.top_for_90pct as f64
+        );
+        count!(
+            "S5.4",
+            "youtube top-k for 50% value",
+            cal::payments::YOUTUBE_TOP_FOR_HALF as f64,
+            self.youtube_whales.top_for_half as f64
+        );
+        count!(
+            "S5.4",
+            "youtube top-k for 90% value",
+            cal::payments::YOUTUBE_TOP_FOR_90PCT as f64,
+            self.youtube_whales.top_for_90pct as f64
+        );
 
-        count!("S5.5", "distinct recipients", cal::scammers::DISTINCT_RECIPIENTS as f64, self.recipients.recipients as f64);
-        count!("S5.5", "twitter recipients", cal::payments::TWITTER_RECIPIENTS as f64, self.twitter_recipients as f64);
-        count!("S5.5", "youtube recipients", cal::payments::YOUTUBE_RECIPIENTS as f64, self.youtube_recipients as f64);
+        count!(
+            "S5.5",
+            "distinct recipients",
+            cal::scammers::DISTINCT_RECIPIENTS as f64,
+            self.recipients.recipients as f64
+        );
+        count!(
+            "S5.5",
+            "twitter recipients",
+            cal::payments::TWITTER_RECIPIENTS as f64,
+            self.twitter_recipients as f64
+        );
+        count!(
+            "S5.5",
+            "youtube recipients",
+            cal::payments::YOUTUBE_RECIPIENTS as f64,
+            self.youtube_recipients as f64
+        );
         rate!(
             "S5.5",
             "btc singleton-cluster rate",
             cal::scammers::BTC_SINGLETON_RECIPIENTS as f64 / cal::scammers::BTC_RECIPIENTS as f64,
             self.recipients.btc_singletons as f64 / self.recipients.btc_recipients.max(1) as f64
         );
-        count!("S5.5", "outgoing recipients", cal::scammers::OUTGOING_RECIPIENTS as f64, self.outgoing.recipients as f64);
-        count!("S5.5", "outgoing exchanges", cal::scammers::OUTGOING_EXCHANGE as f64, self.outgoing.count(gt_cluster::Category::Exchange) as f64);
-        rate!("S5.5", "outgoing unlabeled rate", 0.87, self.outgoing.unlabeled_rate());
+        count!(
+            "S5.5",
+            "outgoing recipients",
+            cal::scammers::OUTGOING_RECIPIENTS as f64,
+            self.outgoing.recipients as f64
+        );
+        count!(
+            "S5.5",
+            "outgoing exchanges",
+            cal::scammers::OUTGOING_EXCHANGE as f64,
+            self.outgoing.count(gt_cluster::Category::Exchange) as f64
+        );
+        rate!(
+            "S5.5",
+            "outgoing unlabeled rate",
+            0.87,
+            self.outgoing.unlabeled_rate()
+        );
 
         if let Some(qr) = &self.qr_pilot {
-            rate!("B", "qr mean seconds", cal::pilot::QR_MEAN_SECONDS, qr.mean_seconds);
-            rate!("B", "qr median seconds", cal::pilot::QR_MEDIAN_SECONDS, qr.median_seconds);
+            rate!(
+                "B",
+                "qr mean seconds",
+                cal::pilot::QR_MEAN_SECONDS,
+                qr.mean_seconds
+            );
+            rate!(
+                "B",
+                "qr median seconds",
+                cal::pilot::QR_MEDIAN_SECONDS,
+                qr.median_seconds
+            );
         }
-        count!("B.1", "twitch scams found", 0.0, self.twitch.scams_found as f64);
-        rate!("F5", "streams with keyword", cal::keywords_fig5::STREAMS_WITH_KEYWORD, self.fig5.keyword_rate());
-        rate!("F5", "top-20 keyword share", cal::keywords_fig5::TOP20_SHARE, self.fig5.top_k_share(20));
+        count!(
+            "B.1",
+            "twitch scams found",
+            0.0,
+            self.twitch.scams_found as f64
+        );
+        rate!(
+            "F5",
+            "streams with keyword",
+            cal::keywords_fig5::STREAMS_WITH_KEYWORD,
+            self.fig5.keyword_rate()
+        );
+        rate!(
+            "F5",
+            "top-20 keyword share",
+            cal::keywords_fig5::TOP20_SHARE,
+            self.fig5.top_k_share(20)
+        );
 
         rows
     }

@@ -20,10 +20,7 @@ pub struct RecipientStats {
 }
 
 /// Distinct recipients of the final victim payments, per platform list.
-pub fn recipient_stats(
-    analyses: &[&PaymentAnalysis],
-    clustering: &ClusterView,
-) -> RecipientStats {
+pub fn recipient_stats(analyses: &[&PaymentAnalysis], clustering: &ClusterView) -> RecipientStats {
     let mut recipients: HashSet<Address> = HashSet::new();
     for analysis in analyses {
         for p in analysis.victim_payments() {
@@ -118,8 +115,8 @@ mod tests {
     use super::*;
     use crate::payments::{IsolatedPayment, PaymentFunnel, RevenueRow};
     use gt_addr::{BtcAddress, Coin};
-    use gt_cluster::TagService;
     use gt_chain::{Amount, BtcLedger, ChainView, Transfer, TxRef};
+    use gt_cluster::TagService;
     use gt_sim::SimTime;
 
     fn addr(b: u8) -> BtcAddress {
@@ -182,7 +179,14 @@ mod tests {
         ledger.coinbase(addr(2), Amount(10_000), t).unwrap();
         ledger.coinbase(addr(3), Amount(10_000), t).unwrap();
         ledger
-            .pay(&[addr(2), addr(3)], addr(50), Amount(15_000), addr(2), Amount(0), t)
+            .pay(
+                &[addr(2), addr(3)],
+                addr(50),
+                Amount(15_000),
+                addr(2),
+                Amount(0),
+                t,
+            )
             .unwrap();
         let clustering = ClusterView::build(&ledger);
         let a = analysis(vec![payment_to(1), payment_to(2), payment_to(3)]);

@@ -31,7 +31,9 @@ impl WeeklySeries {
         window_end: SimTime,
         observations: impl Iterator<Item = (SimTime, u64)>,
     ) -> WeeklySeries {
-        let weeks = ((window_end - window_start).as_days() as usize).div_ceil(7).max(1);
+        let weeks = ((window_end - window_start).as_days() as usize)
+            .div_ceil(7)
+            .max(1);
         let mut buckets: Vec<WeekBucket> = (0..weeks)
             .map(|w| WeekBucket {
                 week: w,
@@ -81,7 +83,13 @@ impl WeeklySeries {
     /// Render an ASCII sparkline of counts (for the report).
     pub fn sparkline(&self) -> String {
         const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-        let max = self.buckets.iter().map(|b| b.count).max().unwrap_or(0).max(1);
+        let max = self
+            .buckets
+            .iter()
+            .map(|b| b.count)
+            .max()
+            .unwrap_or(0)
+            .max(1);
         self.buckets
             .iter()
             .map(|b| BARS[((b.count * 7) / max) as usize])
@@ -138,11 +146,7 @@ mod tests {
 
     #[test]
     fn sparkline_has_one_char_per_week() {
-        let series = WeeklySeries::build(
-            t0(),
-            t0() + SimDuration::weeks(26),
-            std::iter::empty(),
-        );
+        let series = WeeklySeries::build(t0(), t0() + SimDuration::weeks(26), std::iter::empty());
         assert_eq!(series.sparkline().chars().count(), 26);
     }
 

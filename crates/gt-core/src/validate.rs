@@ -45,7 +45,13 @@ pub fn validate_page(domain: &str, html: &str, keywords: &SearchKeywords) -> Val
     // whole-word matching applies ("elon-give.com" → "elon give com").
     let spaced: String = domain
         .chars()
-        .map(|c| if c == '-' || c == '.' || c == '_' { ' ' } else { c })
+        .map(|c| {
+            if c == '-' || c == '.' || c == '_' {
+                ' '
+            } else {
+                c
+            }
+        })
         .collect();
 
     ValidatedSite {
@@ -138,7 +144,10 @@ mod tests {
                 "ETH".to_string(),
                 "0x5aAeb6053F3E94C9b9A09f33669435E7Ef1BeAed".to_string(),
             ),
-            ("DOGE".to_string(), "DPofMBULBSwFIaAPYZ9bbR3ePM2TfWsZZ1".to_string()),
+            (
+                "DOGE".to_string(),
+                "DPofMBULBSwFIaAPYZ9bbR3ePM2TfWsZZ1".to_string(),
+            ),
         ];
         let valid = validate_annotated_addresses(&entries);
         assert_eq!(valid.len(), 2, "BTC + ETH valid; garbage and DOGE rejected");

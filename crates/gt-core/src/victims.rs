@@ -184,8 +184,7 @@ mod tests {
 
     #[test]
     fn whale_distribution_uniform() {
-        let ps: Vec<IsolatedPayment> =
-            (0..10).map(|i| payment(i, 10.0, true, false)).collect();
+        let ps: Vec<IsolatedPayment> = (0..10).map(|i| payment(i, 10.0, true, false)).collect();
         let d = whale_distribution(&analysis(ps));
         assert_eq!(d.top_for_half, 5);
         assert_eq!(d.top_for_90pct, 9);

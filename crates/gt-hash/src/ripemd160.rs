@@ -41,8 +41,20 @@ fn f(round: usize, x: u32, y: u32, z: u32) -> u32 {
     }
 }
 
-const KL: [u32; 5] = [0x0000_0000, 0x5a82_7999, 0x6ed9_eba1, 0x8f1b_bcdc, 0xa953_fd4e];
-const KR: [u32; 5] = [0x50a2_8be6, 0x5c4d_d124, 0x6d70_3ef3, 0x7a6d_76e9, 0x0000_0000];
+const KL: [u32; 5] = [
+    0x0000_0000,
+    0x5a82_7999,
+    0x6ed9_eba1,
+    0x8f1b_bcdc,
+    0xa953_fd4e,
+];
+const KR: [u32; 5] = [
+    0x50a2_8be6,
+    0x5c4d_d124,
+    0x6d70_3ef3,
+    0x7a6d_76e9,
+    0x0000_0000,
+];
 
 fn compress(state: &mut [u32; 5], block: &[u8; 64]) {
     let mut x = [0u32; 16];
@@ -91,7 +103,13 @@ fn compress(state: &mut [u32; 5], block: &[u8; 64]) {
 
 /// One-shot RIPEMD-160.
 pub fn ripemd160(data: &[u8]) -> [u8; 20] {
-    let mut state: [u32; 5] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0];
+    let mut state: [u32; 5] = [
+        0x6745_2301,
+        0xefcd_ab89,
+        0x98ba_dcfe,
+        0x1032_5476,
+        0xc3d2_e1f0,
+    ];
     let mut blocks = data.chunks_exact(64);
     for block in &mut blocks {
         let mut b = [0u8; 64];
@@ -130,7 +148,10 @@ mod tests {
             (b"", "9c1185a5c5e9fc54612808977ee8f548b2258d31"),
             (b"a", "0bdc9d2d256b3ee9daae347be6f4dc835a467ffe"),
             (b"abc", "8eb208f7e05d987a9b044a8e98c6b087f15a0bfc"),
-            (b"message digest", "5d0689ef49d2fae572b881b123a85ffa21595f36"),
+            (
+                b"message digest",
+                "5d0689ef49d2fae572b881b123a85ffa21595f36",
+            ),
             (
                 b"abcdefghijklmnopqrstuvwxyz",
                 "f71c27109c692c1b56bbdceb5b9d2865b3708dbc",

@@ -1,0 +1,412 @@
+//! Registry, per-stage sinks, and the lock-free local accumulator.
+
+use crate::snapshot::{MetricRow, SpanSnap, TelemetrySnapshot, WallBlock};
+use crate::span::{SpanGuard, SpanRecord};
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Bucket edges (seconds) for backoff-sleep histograms. Powers of two
+/// track the exponential retry schedule; the last bucket is overflow.
+pub const BACKOFF_BUCKET_EDGES: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+
+/// Bucket edges (items) for per-call record-count histograms.
+pub const RECORD_BUCKET_EDGES: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// A fixed-bucket histogram. `counts[i]` holds observations `<=
+/// edges[i]`; the final slot counts overflow. Edges are fixed at
+/// construction so merging is exact and the serialized form is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Histogram {
+    /// Inclusive upper bucket bounds, ascending.
+    pub edges: Vec<u64>,
+    /// Per-bucket observation counts; `len == edges.len() + 1`.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+impl Histogram {
+    pub fn new(edges: &[u64]) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must ascend");
+        Histogram {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    pub fn observe(&mut self, value: u64) {
+        let slot = self
+            .edges
+            .iter()
+            .position(|&e| value <= e)
+            .unwrap_or(self.edges.len());
+        self.counts[slot] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Fold `other` into `self`.
+    ///
+    /// # Panics
+    /// If the bucket edges differ — merging across layouts would be
+    /// silently lossy.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.edges, other.edges, "histogram bucket edges differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// One metric cell inside the registry.
+#[derive(Debug, Clone)]
+enum MetricCell {
+    /// Monotonic sum.
+    Counter(u64),
+    /// Maximum observed value (max is order-free, so gauges stay
+    /// deterministic under concurrent flushes).
+    Gauge(u64),
+    Hist(Histogram),
+}
+
+type MetricKey = (String, String, String); // (stage, substrate, metric)
+
+/// A local, lock-free accumulator a driver fills during its run and
+/// flushes to the registry once ([`StageSink::flush`]). Keys are
+/// `(substrate, metric)`; the owning sink supplies the stage.
+#[derive(Debug, Clone, Default)]
+pub struct MetricSheet {
+    counters: BTreeMap<(&'static str, &'static str), u64>,
+    gauges: BTreeMap<(&'static str, &'static str), u64>,
+    hists: BTreeMap<(&'static str, &'static str), Histogram>,
+}
+
+impl MetricSheet {
+    pub fn new() -> Self {
+        MetricSheet::default()
+    }
+
+    /// Add to a counter.
+    pub fn add(&mut self, substrate: &'static str, metric: &'static str, value: u64) {
+        *self.counters.entry((substrate, metric)).or_insert(0) += value;
+    }
+
+    /// Raise a max-gauge.
+    pub fn gauge_max(&mut self, substrate: &'static str, metric: &'static str, value: u64) {
+        let cell = self.gauges.entry((substrate, metric)).or_insert(0);
+        *cell = (*cell).max(value);
+    }
+
+    /// Observe into a fixed-bucket histogram (created on first use).
+    pub fn observe(
+        &mut self,
+        substrate: &'static str,
+        metric: &'static str,
+        value: u64,
+        edges: &[u64],
+    ) {
+        self.hists
+            .entry((substrate, metric))
+            .or_insert_with(|| Histogram::new(edges))
+            .observe(value);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.hists.clear();
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct Inner {
+    /// Wall-clock zero for span timestamps.
+    pub(crate) epoch: Instant,
+    metrics: Mutex<BTreeMap<MetricKey, MetricCell>>,
+    pub(crate) spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// The shared metric/span store. Cloning is cheap (an `Arc`); a
+/// disabled registry carries no storage and every operation on it is a
+/// no-op, so instrumented code never needs an `if enabled` branch.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An enabled registry with its wall-clock epoch set to now.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                metrics: Mutex::new(BTreeMap::new()),
+                spans: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// A no-op registry: no storage, no locking, empty snapshots.
+    pub fn disabled() -> Self {
+        MetricsRegistry { inner: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A sink bound to one pipeline stage. Sinks are cheap to clone and
+    /// `Send + Sync`; hand one to each stage body / substrate driver.
+    pub fn sink(&self, stage: &str) -> StageSink {
+        StageSink {
+            registry: self.clone(),
+            stage: Arc::from(stage),
+        }
+    }
+
+    /// Open a wall-clock span; it records itself when dropped.
+    pub fn span(&self, name: &str, cat: &'static str) -> SpanGuard {
+        SpanGuard::open(self.inner.clone(), name, cat, None)
+    }
+
+    /// Add to a counter keyed `(stage, substrate, metric)`.
+    pub fn counter_add(&self, stage: &str, substrate: &str, metric: &str, value: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut map = inner.metrics.lock();
+        match map
+            .entry((stage.to_string(), substrate.to_string(), metric.to_string()))
+            .or_insert(MetricCell::Counter(0))
+        {
+            MetricCell::Counter(c) => *c += value,
+            other => {
+                panic!("metric kind clash for counter {stage}/{substrate}/{metric}: {other:?}")
+            }
+        }
+    }
+
+    /// Drain a [`MetricSheet`] into the registry under a single lock.
+    fn flush_sheet(&self, stage: &str, sheet: &mut MetricSheet) {
+        let Some(inner) = &self.inner else {
+            sheet.clear();
+            return;
+        };
+        if sheet.is_empty() {
+            return;
+        }
+        let mut map = inner.metrics.lock();
+        for (&(substrate, metric), &value) in &sheet.counters {
+            match map
+                .entry(key(stage, substrate, metric))
+                .or_insert(MetricCell::Counter(0))
+            {
+                MetricCell::Counter(c) => *c += value,
+                other => panic!("metric kind clash for counter {substrate}/{metric}: {other:?}"),
+            }
+        }
+        for (&(substrate, metric), &value) in &sheet.gauges {
+            match map
+                .entry(key(stage, substrate, metric))
+                .or_insert(MetricCell::Gauge(0))
+            {
+                MetricCell::Gauge(g) => *g = (*g).max(value),
+                other => panic!("metric kind clash for gauge {substrate}/{metric}: {other:?}"),
+            }
+        }
+        for ((substrate, metric), hist) in &sheet.hists {
+            match map
+                .entry(key(stage, substrate, metric))
+                .or_insert_with(|| MetricCell::Hist(Histogram::new(&hist.edges)))
+            {
+                MetricCell::Hist(h) => h.merge(hist),
+                other => panic!("metric kind clash for histogram {substrate}/{metric}: {other:?}"),
+            }
+        }
+        sheet.clear();
+    }
+
+    /// Freeze the registry contents into a serializable snapshot.
+    /// Metric rows come out in `BTreeMap` key order — deterministic for
+    /// deterministic inputs; spans sort by `(lane, start)`.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let Some(inner) = &self.inner else {
+            return TelemetrySnapshot {
+                enabled: false,
+                metrics: Vec::new(),
+                wall: WallBlock::default(),
+            };
+        };
+        let metrics = inner
+            .metrics
+            .lock()
+            .iter()
+            .map(|((stage, substrate, metric), cell)| {
+                let (kind, value, hist) = match cell {
+                    MetricCell::Counter(c) => ("counter", *c, None),
+                    MetricCell::Gauge(g) => ("gauge", *g, None),
+                    MetricCell::Hist(h) => ("histogram", h.count, Some(h.clone())),
+                };
+                MetricRow {
+                    stage: stage.clone(),
+                    substrate: substrate.clone(),
+                    metric: metric.clone(),
+                    kind: kind.to_string(),
+                    value,
+                    hist,
+                }
+            })
+            .collect();
+        let mut spans: Vec<SpanSnap> = inner.spans.lock().iter().map(SpanRecord::snap).collect();
+        spans.sort_by_key(|a| (a.lane, a.start_us));
+        TelemetrySnapshot {
+            enabled: true,
+            metrics,
+            wall: WallBlock {
+                total_ms: inner.epoch.elapsed().as_secs_f64() * 1_000.0,
+                spans,
+            },
+        }
+    }
+}
+
+fn key(stage: &str, substrate: &str, metric: &str) -> MetricKey {
+    (stage.to_string(), substrate.to_string(), metric.to_string())
+}
+
+/// A registry handle bound to one pipeline stage. The stage string is
+/// baked in so substrate drivers only name `(substrate, metric)`.
+#[derive(Debug, Clone)]
+pub struct StageSink {
+    registry: MetricsRegistry,
+    stage: Arc<str>,
+}
+
+impl StageSink {
+    /// A sink over a disabled registry: every operation is a no-op.
+    pub fn noop() -> Self {
+        MetricsRegistry::disabled().sink("noop")
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.registry.is_enabled()
+    }
+
+    pub fn stage(&self) -> &str {
+        &self.stage
+    }
+
+    /// Open a nested wall-clock span under this stage.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        SpanGuard::open(self.registry.inner.clone(), name, "substrate", None)
+    }
+
+    /// [`StageSink::span`] annotated with the sim-clock second the
+    /// spanned work models.
+    pub fn span_sim(&self, name: &str, sim_ts: i64) -> SpanGuard {
+        SpanGuard::open(self.registry.inner.clone(), name, "substrate", Some(sim_ts))
+    }
+
+    /// Add to a counter under this stage.
+    pub fn counter_add(&self, substrate: &str, metric: &str, value: u64) {
+        self.registry
+            .counter_add(&self.stage, substrate, metric, value);
+    }
+
+    /// Drain `sheet` into the registry under a single lock.
+    pub fn flush(&self, sheet: &mut MetricSheet) {
+        self.registry.flush_sheet(&self.stage, sheet);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let reg = MetricsRegistry::disabled();
+        reg.counter_add("s", "sub", "m", 3);
+        let sink = reg.sink("s");
+        let mut sheet = MetricSheet::new();
+        sheet.add("sub", "m", 1);
+        sink.flush(&mut sheet);
+        assert!(sheet.is_empty(), "flush drains even when disabled");
+        let snap = reg.snapshot();
+        assert!(!snap.enabled);
+        assert!(snap.metrics.is_empty());
+        assert!(snap.wall.spans.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("b", "x", "m", 1);
+        reg.counter_add("a", "x", "m", 2);
+        reg.counter_add("a", "x", "m", 3);
+        let snap = reg.snapshot();
+        let rows: Vec<(&str, u64)> = snap
+            .metrics
+            .iter()
+            .map(|r| (r.stage.as_str(), r.value))
+            .collect();
+        assert_eq!(rows, [("a", 5), ("b", 1)]);
+    }
+
+    #[test]
+    fn sheet_flush_merges_all_kinds() {
+        let reg = MetricsRegistry::new();
+        let sink = reg.sink("stage");
+        for _ in 0..2 {
+            let mut sheet = MetricSheet::new();
+            sheet.add("yt", "calls", 4);
+            sheet.gauge_max("yt", "tracked", 7);
+            sheet.observe("yt", "backoff", 3, BACKOFF_BUCKET_EDGES);
+            sink.flush(&mut sheet);
+        }
+        let snap = reg.snapshot();
+        let calls = snap.counter("stage", "yt", "calls").unwrap();
+        assert_eq!(calls, 8);
+        let gauge = snap.metrics.iter().find(|r| r.metric == "tracked").unwrap();
+        assert_eq!((gauge.kind.as_str(), gauge.value), ("gauge", 7));
+        let hist = snap.metrics.iter().find(|r| r.metric == "backoff").unwrap();
+        let h = hist.hist.as_ref().unwrap();
+        assert_eq!((h.count, h.sum), (2, 6));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[1, 4, 16]);
+        for v in [0, 1, 2, 5, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts, [2, 1, 1, 1]);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 108);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket edges differ")]
+    fn histogram_merge_rejects_mismatched_edges() {
+        let mut a = Histogram::new(&[1, 2]);
+        a.merge(&Histogram::new(&[1, 3]));
+    }
+}

@@ -143,8 +143,14 @@ mod tests {
     fn btc_2022_crash_is_present() {
         // Jan 2022 > Jul 2022 by more than 2x — the crash the paper's
         // revenue normalisation lives through.
-        let jan = BTC_ANCHORS.iter().find(|x| x.date == CivilDate::new(2022, 1, 1)).unwrap();
-        let jul = BTC_ANCHORS.iter().find(|x| x.date == CivilDate::new(2022, 7, 1)).unwrap();
+        let jan = BTC_ANCHORS
+            .iter()
+            .find(|x| x.date == CivilDate::new(2022, 1, 1))
+            .unwrap();
+        let jul = BTC_ANCHORS
+            .iter()
+            .find(|x| x.date == CivilDate::new(2022, 7, 1))
+            .unwrap();
         assert!(jan.usd / jul.usd > 2.0);
     }
 }

@@ -110,7 +110,10 @@ mod tests {
         let jun = o.price_on(Coin::Btc, CivilDate::new(2022, 6, 1));
         let mid = o.price_on(Coin::Btc, CivilDate::new(2022, 6, 16));
         let jul = o.price_on(Coin::Btc, CivilDate::new(2022, 7, 1));
-        assert!(jun > mid * 0.95 && mid * 0.95 > jul * 0.8, "{jun} {mid} {jul}");
+        assert!(
+            jun > mid * 0.95 && mid * 0.95 > jul * 0.8,
+            "{jun} {mid} {jul}"
+        );
     }
 
     #[test]
@@ -171,6 +174,9 @@ mod tests {
         let o = oracle();
         let morning = SimTime::from_ymd_hms(2023, 8, 20, 1, 0, 0);
         let evening = SimTime::from_ymd_hms(2023, 8, 20, 23, 0, 0);
-        assert_eq!(o.price_at(Coin::Xrp, morning), o.price_at(Coin::Xrp, evening));
+        assert_eq!(
+            o.price_at(Coin::Xrp, morning),
+            o.price_at(Coin::Xrp, evening)
+        );
     }
 }

@@ -68,14 +68,9 @@ pub fn decode(matrix: &Matrix) -> Result<Vec<u8>, DecodeError> {
 
     // De-interleave into blocks.
     let blocks: Vec<(usize, usize)> = spec.blocks().collect();
-    let mut data_blocks: Vec<Vec<u8>> = blocks
-        .iter()
-        .map(|&(d, _)| Vec::with_capacity(d))
-        .collect();
-    let mut ec_blocks: Vec<Vec<u8>> = blocks
-        .iter()
-        .map(|&(_, e)| Vec::with_capacity(e))
-        .collect();
+    let mut data_blocks: Vec<Vec<u8>> =
+        blocks.iter().map(|&(d, _)| Vec::with_capacity(d)).collect();
+    let mut ec_blocks: Vec<Vec<u8>> = blocks.iter().map(|&(_, e)| Vec::with_capacity(e)).collect();
 
     let mut it = codewords.iter().copied();
     let max_data = blocks.iter().map(|&(d, _)| d).max().unwrap_or(0);
@@ -135,8 +130,7 @@ mod tests {
         for version in 1..=MAX_VERSION {
             for level in EcLevel::ALL {
                 let cap = byte_capacity(version, level);
-                let payload: Vec<u8> =
-                    (0..cap).map(|i| b'a' + (i % 26) as u8).collect();
+                let payload: Vec<u8> = (0..cap).map(|i| b'a' + (i % 26) as u8).collect();
                 let m = encode_with_version(&payload, level, version).unwrap();
                 let decoded = decode(&m).unwrap_or_else(|e| panic!("v{version} {level:?}: {e}"));
                 assert_eq!(decoded, payload, "v{version} {level:?}");

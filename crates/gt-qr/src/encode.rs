@@ -5,9 +5,7 @@ use crate::format::encode_format;
 use crate::gf::Gf;
 use crate::matrix::{format_positions_copy1, format_positions_copy2, Matrix};
 use crate::rs;
-use crate::tables::{
-    block_spec, byte_count_bits, remainder_bits, smallest_version, EcLevel,
-};
+use crate::tables::{block_spec, byte_count_bits, remainder_bits, smallest_version, EcLevel};
 use std::fmt;
 
 /// Why encoding failed.

@@ -119,12 +119,7 @@ mod tests {
     #[test]
     fn format_corrects_up_to_three_errors() {
         let word = encode_format(EcLevel::Q, 3);
-        for bits in [
-            vec![0usize],
-            vec![14],
-            vec![0, 7],
-            vec![1, 8, 13],
-        ] {
+        for bits in [vec![0usize], vec![14], vec![0, 7], vec![1, 8, 13]] {
             let mut corrupted = word;
             for b in bits {
                 corrupted ^= 1 << b;
@@ -137,9 +132,9 @@ mod tests {
     fn format_rejects_heavy_corruption() {
         let word = encode_format(EcLevel::L, 0);
         let corrupted = word ^ 0b1111; // 4 bit errors
-        // Must not return the original pair (may return None or another
-        // codeword's pair at distance <= 3 — with d_min 7, 4 errors land
-        // strictly between codewords, so None).
+                                       // Must not return the original pair (may return None or another
+                                       // codeword's pair at distance <= 3 — with d_min 7, 4 errors land
+                                       // strictly between codewords, so None).
         assert_eq!(decode_format(corrupted), None);
     }
 

@@ -67,7 +67,11 @@ impl Frame {
                 let v = if matrix.get(r, c) { 0 } else { 255 };
                 for dy in 0..scale {
                     for dx in 0..scale {
-                        self.set(left + quiet + c * scale + dx, top + quiet + r * scale + dy, v);
+                        self.set(
+                            left + quiet + c * scale + dx,
+                            top + quiet + r * scale + dy,
+                            v,
+                        );
                     }
                 }
             }
@@ -132,10 +136,7 @@ fn verify_vertical(frame: &Frame, cand: &FinderCandidate) -> bool {
     // Walk up and down from the centre collecting run lengths.
     let count_run = |mut y: isize, step: isize, dark: bool| -> usize {
         let mut n = 0;
-        while y >= 0
-            && (y as usize) < frame.height
-            && frame.dark(x, y as usize) == dark
-        {
+        while y >= 0 && (y as usize) < frame.height && frame.dark(x, y as usize) == dark {
             n += 1;
             y += step;
         }
@@ -147,11 +148,7 @@ fn verify_vertical(frame: &Frame, cand: &FinderCandidate) -> bool {
     let white_up = count_run(cy - core_up as isize, -1, false);
     let white_down = count_run(cy + core_down as isize + 1, 1, false);
     let cap_up = count_run(cy - core_up as isize - white_up as isize, -1, true);
-    let cap_down = count_run(
-        cy + core_down as isize + white_down as isize + 1,
-        1,
-        true,
-    );
+    let cap_down = count_run(cy + core_down as isize + white_down as isize + 1, 1, true);
     let unit = cand.module_size;
     let near = |v: usize, expect: f64| (v as f64 - expect * unit).abs() <= unit * 0.75 + 0.5;
     near(core, 3.0)
@@ -320,7 +317,10 @@ mod tests {
             frame.paint_qr(&m, 13, 17, scale);
             let hits = scan_frame(&frame);
             assert_eq!(hits.len(), 1, "scale {scale}");
-            assert_eq!(hits[0].payload, b"https://xrp-event.live/go", "scale {scale}");
+            assert_eq!(
+                hits[0].payload, b"https://xrp-event.live/go",
+                "scale {scale}"
+            );
         }
     }
 

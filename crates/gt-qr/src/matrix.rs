@@ -95,8 +95,7 @@ impl Matrix {
         let centers = alignment_positions(version);
         for &r in centers {
             for &c in centers {
-                let near_finder = (r < 9 && (c < 9 || c > size - 10))
-                    || (r > size - 10 && c < 9);
+                let near_finder = (r < 9 && (c < 9 || c > size - 10)) || (r > size - 10 && c < 9);
                 if near_finder {
                     continue;
                 }

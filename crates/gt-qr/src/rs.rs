@@ -265,7 +265,10 @@ mod tests {
         for e in 0..6 {
             codeword[e * 3] ^= 0xff;
         }
-        assert_eq!(correct(&gf, &mut codeword, ec_len), Err(RsError::TooManyErrors));
+        assert_eq!(
+            correct(&gf, &mut codeword, ec_len),
+            Err(RsError::TooManyErrors)
+        );
     }
 
     #[test]

@@ -127,11 +127,26 @@ const BLOCKS: [[BlockSpec; 4]; 10] = [
     // v1 (26 codewords)
     [one(1, 19, 7), one(1, 16, 10), one(1, 13, 13), one(1, 9, 17)],
     // v2 (44)
-    [one(1, 34, 10), one(1, 28, 16), one(1, 22, 22), one(1, 16, 28)],
+    [
+        one(1, 34, 10),
+        one(1, 28, 16),
+        one(1, 22, 22),
+        one(1, 16, 28),
+    ],
     // v3 (70)
-    [one(1, 55, 15), one(1, 44, 26), one(2, 17, 18), one(2, 13, 22)],
+    [
+        one(1, 55, 15),
+        one(1, 44, 26),
+        one(2, 17, 18),
+        one(2, 13, 22),
+    ],
     // v4 (100)
-    [one(1, 80, 20), one(2, 32, 18), one(2, 24, 26), one(4, 9, 16)],
+    [
+        one(1, 80, 20),
+        one(2, 32, 18),
+        one(2, 24, 26),
+        one(4, 9, 16),
+    ],
     // v5 (134)
     [
         one(1, 108, 26),
@@ -140,7 +155,12 @@ const BLOCKS: [[BlockSpec; 4]; 10] = [
         two(2, 11, 2, 12, 22),
     ],
     // v6 (172)
-    [one(2, 68, 18), one(4, 27, 16), one(4, 19, 24), one(4, 15, 28)],
+    [
+        one(2, 68, 18),
+        one(4, 27, 16),
+        one(4, 19, 24),
+        one(4, 15, 28),
+    ],
     // v7 (196)
     [
         one(2, 78, 20),

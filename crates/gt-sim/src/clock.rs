@@ -106,7 +106,10 @@ mod tests {
         let c1 = Clock::starting_at(SimTime::from_ymd(2023, 7, 24));
         let c2 = c1.clone();
         c1.advance(SimDuration::minutes(30));
-        assert_eq!(c2.now(), SimTime::from_ymd(2023, 7, 24) + SimDuration::minutes(30));
+        assert_eq!(
+            c2.now(),
+            SimTime::from_ymd(2023, 7, 24) + SimDuration::minutes(30)
+        );
     }
 
     #[test]

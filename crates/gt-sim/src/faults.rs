@@ -32,6 +32,7 @@
 
 use crate::rng::RngFactory;
 use crate::time::{SimDuration, SimTime};
+use gt_obs::{MetricSheet, StageSink, BACKOFF_BUCKET_EDGES};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -431,6 +432,9 @@ pub struct DegradationStats {
     pub lost: u64,
     /// Times a circuit breaker tripped open.
     pub circuit_opens: u64,
+    /// Total sim-clock seconds spent sleeping before retries (backoff
+    /// plus rate-limit window waits). Sim-derived, so deterministic.
+    pub backoff_wait_secs: u64,
 }
 
 impl DegradationStats {
@@ -448,6 +452,7 @@ impl DegradationStats {
         self.recovered += other.recovered;
         self.lost += other.lost;
         self.circuit_opens += other.circuit_opens;
+        self.backoff_wait_secs += other.backoff_wait_secs;
     }
 
     pub fn is_zero(&self) -> bool {
@@ -525,11 +530,7 @@ impl<'p> FaultDriver<'p> {
         let Some(plan) = self.plan else {
             return Ok(());
         };
-        if self
-            .breakers
-            .get(&sub)
-            .is_some_and(CircuitBreaker::is_open)
-        {
+        if self.breakers.get(&sub).is_some_and(CircuitBreaker::is_open) {
             self.stats.lost += 1;
             return Err(Denied);
         }
@@ -588,11 +589,197 @@ impl<'p> FaultDriver<'p> {
                         return Err(Denied);
                     }
                     self.stats.retries += 1;
+                    self.stats.backoff_wait_secs += delay.as_seconds().max(0) as u64;
                     attempt += 1;
                     at += delay;
                 }
             }
         }
+    }
+}
+
+/// The unified checked-call surface every substrate client codes
+/// against. A substrate defines its raw call once and exposes one
+/// `*_gated` method generic over `G: CheckedCall`; fault gating and
+/// telemetry then come for free from whichever gate the caller holds —
+/// a bare [`FaultDriver`] (gating only) or a [`Gated`] wrapper (gating
+/// plus per-call metrics).
+pub trait CheckedCall {
+    /// Gate one call at `now`. On admission, run `body` and return its
+    /// value; `body` also reports how many records (hits, messages,
+    /// frames, bytes — the substrate chooses the unit) the call
+    /// produced, which an observing gate turns into metrics.
+    fn checked_counted<T>(
+        &mut self,
+        sub: Substrate,
+        now: SimTime,
+        body: impl FnOnce() -> (T, u64),
+    ) -> Result<T, Denied>;
+
+    /// [`CheckedCall::checked_counted`] for calls with no meaningful
+    /// record count.
+    fn checked<T>(
+        &mut self,
+        sub: Substrate,
+        now: SimTime,
+        body: impl FnOnce() -> T,
+    ) -> Result<T, Denied> {
+        self.checked_counted(sub, now, || (body(), 0))
+    }
+
+    /// True when the gate does nothing at all — no fault plan *and* no
+    /// telemetry — so hot paths may skip instrumentation entirely.
+    fn pass_through(&self) -> bool;
+
+    /// The fault window (if any) covering `sub` at `now`, for callers
+    /// that map fault kinds onto domain errors (e.g. the web fetcher).
+    fn active_fault(&self, sub: Substrate, now: SimTime) -> Option<FaultKind>;
+}
+
+impl CheckedCall for FaultDriver<'_> {
+    fn checked_counted<T>(
+        &mut self,
+        sub: Substrate,
+        now: SimTime,
+        body: impl FnOnce() -> (T, u64),
+    ) -> Result<T, Denied> {
+        self.admit(sub, now)?;
+        Ok(body().0)
+    }
+
+    fn pass_through(&self) -> bool {
+        self.is_disabled()
+    }
+
+    fn active_fault(&self, sub: Substrate, now: SimTime) -> Option<FaultKind> {
+        self.plan().and_then(|p| p.fault_at(sub, now))
+    }
+}
+
+/// A [`FaultDriver`] that also reports every call into a telemetry
+/// sink: per-substrate call/served/denied/record counters, the full
+/// degradation breakdown, and a backoff-sleep histogram. Metrics are
+/// accumulated lock-free in a local [`MetricSheet`] and flushed to the
+/// registry once, when the gate drops.
+///
+/// All recorded values derive from sim state ([`DegradationStats`]
+/// deltas and caller-supplied record counts), so telemetry inherits the
+/// fault layer's determinism: byte-identical across thread counts.
+#[derive(Debug)]
+pub struct Gated<'p> {
+    driver: FaultDriver<'p>,
+    sink: StageSink,
+    sheet: MetricSheet,
+}
+
+impl<'p> Gated<'p> {
+    /// A gate over `plan` reporting into `sink`. `label` scopes the
+    /// jitter stream exactly as in [`FaultDriver::new`].
+    pub fn new(
+        plan: Option<&'p FaultPlan>,
+        label: &str,
+        policy: RetryPolicy,
+        sink: StageSink,
+    ) -> Self {
+        Gated {
+            driver: FaultDriver::new(plan, label, policy),
+            sink,
+            sheet: MetricSheet::new(),
+        }
+    }
+
+    /// No plan, no telemetry: every call passes through untouched.
+    pub fn disabled() -> Gated<'static> {
+        Gated {
+            driver: FaultDriver::disabled(),
+            sink: StageSink::noop(),
+            sheet: MetricSheet::new(),
+        }
+    }
+
+    pub fn stats(&self) -> DegradationStats {
+        self.driver.stats()
+    }
+
+    pub fn sink(&self) -> &StageSink {
+        &self.sink
+    }
+
+    /// Record how the last admission changed the degradation counters,
+    /// attributing the delta to `label` (exact, because `admit` only
+    /// ever touches one substrate's accounting per call).
+    fn record_delta(&mut self, label: &'static str, before: &DegradationStats) {
+        let after = self.driver.stats();
+        for (metric, delta) in [
+            ("retries", after.retries - before.retries),
+            ("transients", after.transients - before.transients),
+            ("rate_limited", after.rate_limited - before.rate_limited),
+            (
+                "latency_spikes",
+                after.latency_spikes - before.latency_spikes,
+            ),
+            ("outage_hits", after.outage_hits - before.outage_hits),
+            ("recovered", after.recovered - before.recovered),
+            ("lost", after.lost - before.lost),
+            ("circuit_opens", after.circuit_opens - before.circuit_opens),
+        ] {
+            if delta > 0 {
+                self.sheet.add(label, metric, delta);
+            }
+        }
+        let waited = after.backoff_wait_secs - before.backoff_wait_secs;
+        if waited > 0 {
+            self.sheet.add(label, "backoff_wait_secs", waited);
+            self.sheet
+                .observe(label, "backoff_secs", waited, BACKOFF_BUCKET_EDGES);
+        }
+    }
+}
+
+impl Drop for Gated<'_> {
+    fn drop(&mut self) {
+        self.sink.flush(&mut self.sheet);
+    }
+}
+
+impl CheckedCall for Gated<'_> {
+    fn checked_counted<T>(
+        &mut self,
+        sub: Substrate,
+        now: SimTime,
+        body: impl FnOnce() -> (T, u64),
+    ) -> Result<T, Denied> {
+        if !self.sink.enabled() {
+            self.driver.admit(sub, now)?;
+            return Ok(body().0);
+        }
+        let label = sub.label();
+        let before = self.driver.stats();
+        let admitted = self.driver.admit(sub, now);
+        self.sheet.add(label, "calls", 1);
+        self.record_delta(label, &before);
+        match admitted {
+            Ok(()) => {
+                let (value, records) = body();
+                self.sheet.add(label, "served", 1);
+                if records > 0 {
+                    self.sheet.add(label, "records", records);
+                }
+                Ok(value)
+            }
+            Err(denied) => {
+                self.sheet.add(label, "denied", 1);
+                Err(denied)
+            }
+        }
+    }
+
+    fn pass_through(&self) -> bool {
+        self.driver.is_disabled() && !self.sink.enabled()
+    }
+
+    fn active_fault(&self, sub: Substrate, now: SimTime) -> Option<FaultKind> {
+        self.driver.plan().and_then(|p| p.fault_at(sub, now))
     }
 }
 
@@ -607,6 +794,73 @@ mod tests {
 
     fn span() -> (SimTime, SimTime) {
         (t(0), t(90 * 86_400))
+    }
+
+    #[test]
+    fn gated_accounting_matches_driver_and_flushes_on_drop() {
+        let (a, b) = span();
+        let plan = FaultPlan::generate(7, a, b, &ChaosProfile::severe());
+        let reg = gt_obs::MetricsRegistry::new();
+        let (mut served, mut denied) = (0u64, 0u64);
+        let stats = {
+            let mut gate = Gated::new(
+                Some(&plan),
+                "gated-test",
+                RetryPolicy::default(),
+                reg.sink("stage"),
+            );
+            let mut now = a;
+            while now < b {
+                match gate.checked_counted(Substrate::YoutubeSearch, now, || ((), 3)) {
+                    Ok(()) => served += 1,
+                    Err(Denied) => denied += 1,
+                }
+                now += SimDuration::hours(6);
+            }
+            gate.stats()
+        }; // drop flushes the sheet
+        let snap = reg.snapshot();
+        let get = |m: &str| snap.counter("stage", "youtube.search", m).unwrap_or(0);
+        assert_eq!(get("calls"), served + denied);
+        assert_eq!(get("served"), served);
+        assert_eq!(get("denied"), denied);
+        assert_eq!(get("records"), served * 3);
+        assert_eq!(get("retries"), stats.retries);
+        assert_eq!(get("lost"), stats.lost);
+        assert_eq!(get("backoff_wait_secs"), stats.backoff_wait_secs);
+        assert!(denied > 0, "severe profile should deny something");
+    }
+
+    #[test]
+    fn gated_with_quiet_sink_still_gates() {
+        let (a, b) = span();
+        let plan = FaultPlan::generate(7, a, b, &ChaosProfile::severe());
+        let via_driver = {
+            let mut d = FaultDriver::new(Some(&plan), "same-label", RetryPolicy::default());
+            let mut ok = 0u64;
+            let mut now = a;
+            while now < b {
+                ok += d.admit(Substrate::TwitchList, now).is_ok() as u64;
+                now += SimDuration::hours(6);
+            }
+            (ok, d.stats())
+        };
+        let via_gated = {
+            let mut g = Gated::new(
+                Some(&plan),
+                "same-label",
+                RetryPolicy::default(),
+                gt_obs::StageSink::noop(),
+            );
+            let mut ok = 0u64;
+            let mut now = a;
+            while now < b {
+                ok += g.checked(Substrate::TwitchList, now, || ()).is_ok() as u64;
+                now += SimDuration::hours(6);
+            }
+            (ok, g.stats())
+        };
+        assert_eq!(via_driver, via_gated, "telemetry must not change gating");
     }
 
     #[test]
@@ -815,6 +1069,7 @@ mod tests {
             recovered: 6,
             lost: 7,
             circuit_opens: 8,
+            backoff_wait_secs: 9,
         };
         let mut b = a;
         b.merge(&a);

@@ -35,7 +35,9 @@ pub struct RngFactory {
 
 impl RngFactory {
     pub fn new(master_seed: u64) -> Self {
-        RngFactory { master: master_seed }
+        RngFactory {
+            master: master_seed,
+        }
     }
 
     /// The master seed this factory was built from.
@@ -82,8 +84,16 @@ mod tests {
     #[test]
     fn same_label_same_stream() {
         let f = RngFactory::new(42);
-        let a: Vec<u64> = f.rng("tweets").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = f.rng("tweets").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> = f
+            .rng("tweets")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u64> = f
+            .rng("tweets")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -423,8 +423,14 @@ mod tests {
     #[test]
     fn arithmetic() {
         let t = SimTime::from_ymd(2022, 3, 1);
-        assert_eq!((t + SimDuration::days(1)).date(), CivilDate::new(2022, 3, 2));
-        assert_eq!((t - SimDuration::days(1)).date(), CivilDate::new(2022, 2, 28));
+        assert_eq!(
+            (t + SimDuration::days(1)).date(),
+            CivilDate::new(2022, 3, 2)
+        );
+        assert_eq!(
+            (t - SimDuration::days(1)).date(),
+            CivilDate::new(2022, 2, 28)
+        );
         assert_eq!(t + SimDuration::days(2) - t, SimDuration::days(2));
     }
 

@@ -89,5 +89,8 @@ fn known_calendar_facts() {
         (SimTime::from_ymd(2024, 1, 22) - SimTime::from_ymd(2023, 7, 24)).as_days(),
         182
     );
-    assert_eq!(CivilDate::new(2023, 12, 31).succ(), CivilDate::new(2024, 1, 1));
+    assert_eq!(
+        CivilDate::new(2023, 12, 31).succ(),
+        CivilDate::new(2024, 1, 1)
+    );
 }

@@ -12,10 +12,10 @@
 
 use crate::youtube::{ChatMessage, StreamVideo, ViewerCurve};
 use gt_qr::{encode, EcLevel, Frame};
-use gt_sim::faults::{Denied, FaultDriver, Substrate};
+use gt_sim::faults::{CheckedCall, Denied, FaultDriver, Substrate};
 use gt_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 /// Seconds of advertisement inserted before stream content.
 pub const AD_SECONDS: i64 = 15;
@@ -95,12 +95,7 @@ impl Twitch {
     /// Record `duration` starting at `now`. The first [`AD_SECONDS`]
     /// seconds after the recording starts show an advertisement (no
     /// stream content, no QR).
-    pub fn record(
-        &self,
-        id: TwitchStreamId,
-        now: SimTime,
-        duration: SimDuration,
-    ) -> Vec<Frame> {
+    pub fn record(&self, id: TwitchStreamId, now: SimTime, duration: SimDuration) -> Vec<Frame> {
         self.calls.lock().record += 1;
         let Some(s) = self.streams.get(id.0 as usize) else {
             return Vec::new();
@@ -137,21 +132,67 @@ impl Twitch {
             .collect()
     }
 
-    // ---- fault-gated variants (see the YouTube counterparts) ----
+    // ---- gated variants (see the YouTube counterparts) ----
 
-    /// [`Twitch::get_streams`] behind a fault gate.
+    /// [`Twitch::get_streams`] behind a checked-call gate.
+    pub fn get_streams_gated<G: CheckedCall>(
+        &self,
+        now: SimTime,
+        gate: &mut G,
+    ) -> Result<Vec<&TwitchStream>, Denied> {
+        gate.checked_counted(Substrate::TwitchList, now, || {
+            let streams = self.get_streams(now);
+            let n = streams.len() as u64;
+            (streams, n)
+        })
+    }
+
+    /// [`Twitch::record`] behind a checked-call gate. Recording rides
+    /// the chat/IRC substrate: both are per-stream taps, distinct from
+    /// the Helix listing quota.
+    pub fn record_gated<G: CheckedCall>(
+        &self,
+        id: TwitchStreamId,
+        now: SimTime,
+        duration: SimDuration,
+        gate: &mut G,
+    ) -> Result<Vec<Frame>, Denied> {
+        gate.checked_counted(Substrate::TwitchChat, now, || {
+            let frames = self.record(id, now, duration);
+            let n = frames.len() as u64;
+            (frames, n)
+        })
+    }
+
+    /// [`Twitch::chat_since`] behind a checked-call gate.
+    pub fn chat_since_gated<G: CheckedCall>(
+        &self,
+        id: TwitchStreamId,
+        since: SimTime,
+        now: SimTime,
+        gate: &mut G,
+    ) -> Result<Vec<ChatMessage>, Denied> {
+        gate.checked_counted(Substrate::TwitchChat, now, || {
+            let messages = self.chat_since(id, since, now);
+            let n = messages.len() as u64;
+            (messages, n)
+        })
+    }
+
+    // ---- legacy `_checked` names (thin delegates, one release) ----
+
+    /// Deprecated alias for [`Twitch::get_streams_gated`].
+    #[deprecated(since = "0.1.0", note = "use `get_streams_gated`")]
     pub fn get_streams_checked(
         &self,
         now: SimTime,
         gate: &mut FaultDriver<'_>,
     ) -> Result<Vec<&TwitchStream>, Denied> {
-        gate.admit(Substrate::TwitchList, now)?;
-        Ok(self.get_streams(now))
+        self.get_streams_gated(now, gate)
     }
 
-    /// [`Twitch::record`] behind a fault gate. Recording rides the
-    /// chat/IRC substrate: both are per-stream taps, distinct from the
-    /// Helix listing quota.
+    /// Deprecated alias for [`Twitch::record_gated`].
+    #[deprecated(since = "0.1.0", note = "use `record_gated`")]
     pub fn record_checked(
         &self,
         id: TwitchStreamId,
@@ -159,11 +200,11 @@ impl Twitch {
         duration: SimDuration,
         gate: &mut FaultDriver<'_>,
     ) -> Result<Vec<Frame>, Denied> {
-        gate.admit(Substrate::TwitchChat, now)?;
-        Ok(self.record(id, now, duration))
+        self.record_gated(id, now, duration, gate)
     }
 
-    /// [`Twitch::chat_since`] behind a fault gate.
+    /// Deprecated alias for [`Twitch::chat_since_gated`].
+    #[deprecated(since = "0.1.0", note = "use `chat_since_gated`")]
     pub fn chat_since_checked(
         &self,
         id: TwitchStreamId,
@@ -171,8 +212,7 @@ impl Twitch {
         now: SimTime,
         gate: &mut FaultDriver<'_>,
     ) -> Result<Vec<ChatMessage>, Denied> {
-        gate.admit(Substrate::TwitchChat, now)?;
-        Ok(self.chat_since(id, since, now))
+        self.chat_since_gated(id, since, now, gate)
     }
 }
 

@@ -6,10 +6,10 @@
 //! recorded for quota audits.
 
 use gt_qr::{encode, EcLevel, Frame, Matrix};
-use gt_sim::faults::{Denied, FaultDriver, Substrate};
+use gt_sim::faults::{CheckedCall, Denied, FaultDriver, Substrate};
 use gt_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 /// Maximum chat messages returned per history call (YouTube's cap).
 pub const CHAT_HISTORY_LIMIT: usize = 70;
@@ -179,7 +179,10 @@ impl YouTube {
     pub fn add_stream(&mut self, mut stream: LiveStream) -> LiveStreamId {
         let id = LiveStreamId(self.streams.len() as u64);
         stream.id = id;
-        assert!(stream.start < stream.end, "stream must have positive duration");
+        assert!(
+            stream.start < stream.end,
+            "stream must have positive duration"
+        );
         assert!(
             (stream.channel.0 as usize) < self.channels.len(),
             "unknown channel"
@@ -289,12 +292,7 @@ impl YouTube {
         if !s.is_live(now) {
             return Vec::new();
         }
-        let visible: Vec<ChatMessage> = s
-            .chat
-            .iter()
-            .filter(|m| m.time <= now)
-            .cloned()
-            .collect();
+        let visible: Vec<ChatMessage> = s.chat.iter().filter(|m| m.time <= now).cloned().collect();
         let skip = visible.len().saturating_sub(CHAT_HISTORY_LIMIT);
         visible.into_iter().skip(skip).collect()
     }
@@ -304,12 +302,7 @@ impl YouTube {
     ///
     /// This is the Streamlink step: the monitoring pipeline records two
     /// seconds at a time.
-    pub fn record(
-        &self,
-        id: LiveStreamId,
-        now: SimTime,
-        duration: SimDuration,
-    ) -> Vec<Frame> {
+    pub fn record(&self, id: LiveStreamId, now: SimTime, duration: SimDuration) -> Vec<Frame> {
         self.calls.lock().record += 1;
         let Some(s) = self.streams.get(id.0 as usize) else {
             return Vec::new();
@@ -326,48 +319,110 @@ impl YouTube {
         frames
     }
 
-    // ---- fault-gated variants of the API surface ----
+    // ---- gated variants of the API surface ----
     //
-    // Each consults the gate's `FaultPlan` before answering; the gate
-    // retries transients inside its budget. `Err(Denied)` means the
-    // poll was shed. A successful call serves data as of `now` even
-    // when retries delayed it (snapshot semantics), so a faulty run
-    // observes a strict subset of a clean run.
+    // Each routes through a [`CheckedCall`] gate, which consults its
+    // `FaultPlan` before answering (retrying transients inside its
+    // budget) and, for observing gates, records per-call telemetry.
+    // `Err(Denied)` means the poll was shed. A successful call serves
+    // data as of `now` even when retries delayed it (snapshot
+    // semantics), so a faulty run observes a strict subset of a clean
+    // run.
 
-    /// [`YouTube::search_live`] behind a fault gate.
+    /// [`YouTube::search_live`] behind a checked-call gate.
+    pub fn search_live_gated<G: CheckedCall>(
+        &self,
+        keywords: &gt_text::KeywordSet,
+        now: SimTime,
+        gate: &mut G,
+    ) -> Result<Vec<SearchHit>, Denied> {
+        gate.checked_counted(Substrate::YoutubeSearch, now, || {
+            let hits = self.search_live(keywords, now);
+            let n = hits.len() as u64;
+            (hits, n)
+        })
+    }
+
+    /// [`YouTube::stream_details`] behind a checked-call gate.
+    pub fn stream_details_gated<G: CheckedCall>(
+        &self,
+        id: LiveStreamId,
+        now: SimTime,
+        gate: &mut G,
+    ) -> Result<Option<(u64, u64)>, Denied> {
+        gate.checked_counted(Substrate::YoutubeDetails, now, || {
+            let details = self.stream_details(id, now);
+            let n = details.is_some() as u64;
+            (details, n)
+        })
+    }
+
+    /// [`YouTube::chat_history`] behind a checked-call gate.
+    pub fn chat_history_gated<G: CheckedCall>(
+        &self,
+        id: LiveStreamId,
+        now: SimTime,
+        gate: &mut G,
+    ) -> Result<Vec<ChatMessage>, Denied> {
+        gate.checked_counted(Substrate::YoutubeChat, now, || {
+            let messages = self.chat_history(id, now);
+            let n = messages.len() as u64;
+            (messages, n)
+        })
+    }
+
+    /// [`YouTube::record`] behind a checked-call gate.
+    pub fn record_gated<G: CheckedCall>(
+        &self,
+        id: LiveStreamId,
+        now: SimTime,
+        duration: SimDuration,
+        gate: &mut G,
+    ) -> Result<Vec<Frame>, Denied> {
+        gate.checked_counted(Substrate::YoutubeRecord, now, || {
+            let frames = self.record(id, now, duration);
+            let n = frames.len() as u64;
+            (frames, n)
+        })
+    }
+
+    // ---- legacy `_checked` names (thin delegates, one release) ----
+
+    /// Deprecated alias for [`YouTube::search_live_gated`].
+    #[deprecated(since = "0.1.0", note = "use `search_live_gated`")]
     pub fn search_live_checked(
         &self,
         keywords: &gt_text::KeywordSet,
         now: SimTime,
         gate: &mut FaultDriver<'_>,
     ) -> Result<Vec<SearchHit>, Denied> {
-        gate.admit(Substrate::YoutubeSearch, now)?;
-        Ok(self.search_live(keywords, now))
+        self.search_live_gated(keywords, now, gate)
     }
 
-    /// [`YouTube::stream_details`] behind a fault gate.
+    /// Deprecated alias for [`YouTube::stream_details_gated`].
+    #[deprecated(since = "0.1.0", note = "use `stream_details_gated`")]
     pub fn stream_details_checked(
         &self,
         id: LiveStreamId,
         now: SimTime,
         gate: &mut FaultDriver<'_>,
     ) -> Result<Option<(u64, u64)>, Denied> {
-        gate.admit(Substrate::YoutubeDetails, now)?;
-        Ok(self.stream_details(id, now))
+        self.stream_details_gated(id, now, gate)
     }
 
-    /// [`YouTube::chat_history`] behind a fault gate.
+    /// Deprecated alias for [`YouTube::chat_history_gated`].
+    #[deprecated(since = "0.1.0", note = "use `chat_history_gated`")]
     pub fn chat_history_checked(
         &self,
         id: LiveStreamId,
         now: SimTime,
         gate: &mut FaultDriver<'_>,
     ) -> Result<Vec<ChatMessage>, Denied> {
-        gate.admit(Substrate::YoutubeChat, now)?;
-        Ok(self.chat_history(id, now))
+        self.chat_history_gated(id, now, gate)
     }
 
-    /// [`YouTube::record`] behind a fault gate.
+    /// Deprecated alias for [`YouTube::record_gated`].
+    #[deprecated(since = "0.1.0", note = "use `record_gated`")]
     pub fn record_checked(
         &self,
         id: LiveStreamId,
@@ -375,8 +430,7 @@ impl YouTube {
         duration: SimDuration,
         gate: &mut FaultDriver<'_>,
     ) -> Result<Vec<Frame>, Denied> {
-        gate.admit(Substrate::YoutubeRecord, now)?;
-        Ok(self.record(id, now, duration))
+        self.record_gated(id, now, duration, gate)
     }
 }
 
@@ -456,13 +510,11 @@ mod tests {
                 peak_concurrent: 900,
                 total_views: 12_000,
             },
-            chat: vec![
-                ChatMessage {
-                    time: t(100),
-                    author: "mod".into(),
-                    text: "participate now: https://xrp-2x.live/claim".into(),
-                },
-            ],
+            chat: vec![ChatMessage {
+                time: t(100),
+                author: "mod".into(),
+                text: "participate now: https://xrp-2x.live/claim".into(),
+            }],
         });
         (yt, id)
     }

@@ -6,17 +6,73 @@ use gt_text::KeywordSet;
 /// July 2023), with "coin" appended to ambiguous tickers as the paper
 /// did for ADA/SOL/DOT.
 pub const COIN_KEYWORDS: &[&str] = &[
-    "bitcoin", "btc", "ethereum", "eth", "tether", "usdt", "ripple", "xrp", "bnb", "usd coin",
-    "usdc", "cardano", "ada coin", "dogecoin", "doge", "solana", "sol coin", "tron", "trx",
-    "litecoin", "ltc", "polkadot", "dot coin", "polygon", "matic", "wrapped bitcoin", "wbtc",
-    "bitcoin cash", "bch", "toncoin", "ton", "dai", "avalanche", "avax", "shiba inu", "shib",
-    "binance usd", "busd", "algorand", "algo", "hex", "cryptocurrency", "crypto",
+    "bitcoin",
+    "btc",
+    "ethereum",
+    "eth",
+    "tether",
+    "usdt",
+    "ripple",
+    "xrp",
+    "bnb",
+    "usd coin",
+    "usdc",
+    "cardano",
+    "ada coin",
+    "dogecoin",
+    "doge",
+    "solana",
+    "sol coin",
+    "tron",
+    "trx",
+    "litecoin",
+    "ltc",
+    "polkadot",
+    "dot coin",
+    "polygon",
+    "matic",
+    "wrapped bitcoin",
+    "wbtc",
+    "bitcoin cash",
+    "bch",
+    "toncoin",
+    "ton",
+    "dai",
+    "avalanche",
+    "avax",
+    "shiba inu",
+    "shib",
+    "binance usd",
+    "busd",
+    "algorand",
+    "algo",
+    "hex",
+    "cryptocurrency",
+    "crypto",
 ];
 
 /// Domain keywords from CryptoScamTracker (Table 3, middle row).
 pub const DOMAIN_KEYWORDS: &[&str] = &[
-    "kf", "event", "musk", "elon", "give", "coin", "shiba", "drop", "double", "get", "doge",
-    "kefu", "vitalik", "claim", "binance", "hoskinson", "free", "charles", "star", "garling",
+    "kf",
+    "event",
+    "musk",
+    "elon",
+    "give",
+    "coin",
+    "shiba",
+    "drop",
+    "double",
+    "get",
+    "doge",
+    "kefu",
+    "vitalik",
+    "claim",
+    "binance",
+    "hoskinson",
+    "free",
+    "charles",
+    "star",
+    "garling",
 ];
 
 /// HTML keywords the landing-page validator looks for (Table 3, bottom

@@ -11,8 +11,9 @@
 //! polling.
 
 use crate::keywords::SearchKeywords;
+use gt_obs::StageSink;
 use gt_qr::scan_frame;
-use gt_sim::faults::{DegradationStats, FaultDriver, FaultPlan, RetryPolicy, Substrate};
+use gt_sim::faults::{CheckedCall, DegradationStats, FaultPlan, Gated, RetryPolicy, Substrate};
 use gt_sim::{CivilDate, SimDuration, SimTime};
 use gt_social::{ChannelId, LiveStreamId, YouTube};
 use gt_text::extract_urls;
@@ -56,6 +57,8 @@ pub struct MonitorConfig {
     pub fault_plan: Option<FaultPlan>,
     /// Retry/backoff policy used when the plan injects faults.
     pub retry: RetryPolicy,
+    /// Telemetry sink the window reports into (no-op by default).
+    pub sink: StageSink,
 }
 
 impl MonitorConfig {
@@ -72,6 +75,7 @@ impl MonitorConfig {
             crawler: CrawlerConfig::default(),
             fault_plan: None,
             retry: RetryPolicy::default(),
+            sink: StageSink::noop(),
         }
     }
 }
@@ -186,7 +190,13 @@ impl Monitor {
         // One gate per window; the label ties this window's jitter
         // stream to its start so pilot and main draw independently.
         let gate_label = format!("monitor@{}", cfg.window_start.0);
-        let mut gate = FaultDriver::new(cfg.fault_plan.as_ref(), &gate_label, cfg.retry);
+        let mut gate = Gated::new(
+            cfg.fault_plan.as_ref(),
+            &gate_label,
+            cfg.retry,
+            cfg.sink.clone(),
+        );
+        let _window_span = cfg.sink.span_sim("monitor.window", cfg.window_start.0);
 
         let mut t = cfg.window_start;
         let ticks_per_search =
@@ -202,15 +212,14 @@ impl Monitor {
             }
 
             // ---- monitor-host outage: the window is cut short ----
-            if !gate.is_disabled() && gate.admit(Substrate::StreamMonitor, t).is_err() {
+            if !gate.pass_through() && gate.checked(Substrate::StreamMonitor, t, || ()).is_err() {
                 report.cut_short = Some(t);
                 break;
             }
 
             // ---- search poll ----
             if tick % ticks_per_search == 0 {
-                let hits = match youtube.search_live_checked(&self.keywords.search, t, &mut gate)
-                {
+                let hits = match youtube.search_live_gated(&self.keywords.search, t, &mut gate) {
                     Ok(hits) => {
                         report.searches_run += 1;
                         hits
@@ -253,7 +262,7 @@ impl Monitor {
                 let id = state.observed.stream;
                 // A denied details poll loses this sample but leaves the
                 // stream tracked; only a served "not live" retires it.
-                let Ok(details) = youtube.stream_details_checked(id, t, &mut gate) else {
+                let Ok(details) = youtube.stream_details_gated(id, t, &mut gate) else {
                     continue;
                 };
                 let Some((concurrent, total)) = details else {
@@ -270,7 +279,7 @@ impl Monitor {
                 // Chat poll: last 70 messages; count only new ones and
                 // extract URLs. A denied poll just misses this batch.
                 for msg in youtube
-                    .chat_history_checked(id, t, &mut gate)
+                    .chat_history_gated(id, t, &mut gate)
                     .unwrap_or_default()
                 {
                     if state.chat_seen.insert((msg.time, msg.text.clone())) {
@@ -295,7 +304,7 @@ impl Monitor {
 
                 // Video recording: scan the sampled frames for QR codes.
                 let frames = youtube
-                    .record_checked(id, t, SimDuration::seconds(cfg.record_seconds), &mut gate)
+                    .record_gated(id, t, SimDuration::seconds(cfg.record_seconds), &mut gate)
                     .unwrap_or_default();
                 let mut saw_qr = false;
                 for frame in &frames {
@@ -341,7 +350,7 @@ impl Monitor {
                         continue;
                     }
                     report.crawl_attempts += 1;
-                    let outcome = crawler.crawl_checked(web, &state.url, t, &mut gate);
+                    let outcome = crawler.crawl_gated(web, &state.url, t, &mut gate);
                     if let Some(html) = outcome.html() {
                         report.pages.insert(
                             state.url.to_string(),
@@ -364,6 +373,17 @@ impl Monitor {
         report.streams.sort_by_key(|s| s.stream);
         report.leads.sort_by_key(|l| (l.stream, l.first_seen));
         report.degradation = gate.stats();
+        drop(gate); // flush per-call telemetry before the summary rows
+        for (metric, value) in [
+            ("searches_run", report.searches_run),
+            ("samples_run", report.samples_run),
+            ("outage_ticks_skipped", report.outage_ticks_skipped),
+            ("crawl_attempts", report.crawl_attempts),
+            ("streams_tracked", report.streams.len() as u64),
+            ("leads", report.leads.len() as u64),
+        ] {
+            cfg.sink.counter_add("stream.monitor", metric, value);
+        }
         report
     }
 }
@@ -375,11 +395,7 @@ impl Monitor {
 /// everywhere), so the windows cannot interfere; each report is exactly
 /// what a standalone [`Monitor::run`] would have produced, returned in
 /// input order.
-pub fn run_monitors(
-    monitors: &[Monitor],
-    youtube: &YouTube,
-    web: &WebHost,
-) -> Vec<MonitorReport> {
+pub fn run_monitors(monitors: &[Monitor], youtube: &YouTube, web: &WebHost) -> Vec<MonitorReport> {
     if monitors.len() <= 1 {
         return monitors.iter().map(|m| m.run(youtube, web)).collect();
     }

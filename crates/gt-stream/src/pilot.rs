@@ -43,10 +43,7 @@ fn persistence(obs: &ObservedStream, sample_interval: SimDuration) -> Option<QrP
 
 /// Compute QR persistence for every stream in the report that showed a
 /// QR at least once.
-pub fn qr_persistence(
-    report: &MonitorReport,
-    sample_interval: SimDuration,
-) -> Vec<QrPersistence> {
+pub fn qr_persistence(report: &MonitorReport, sample_interval: SimDuration) -> Vec<QrPersistence> {
     report
         .streams
         .iter()

@@ -9,8 +9,9 @@
 //! same null result.
 
 use crate::keywords::twitch_keyword_set;
+use gt_obs::StageSink;
 use gt_qr::scan_frame;
-use gt_sim::faults::{DegradationStats, FaultDriver, FaultPlan, RetryPolicy};
+use gt_sim::faults::{DegradationStats, FaultPlan, Gated, RetryPolicy};
 use gt_sim::{SimDuration, SimTime};
 use gt_social::{Twitch, TwitchStreamId};
 use gt_text::{extract_urls, KeywordSet};
@@ -51,7 +52,13 @@ pub fn run_twitch_pilot(
     window_start: SimTime,
     window_end: SimTime,
 ) -> TwitchPilotReport {
-    run_twitch_pilot_with_faults(twitch, window_start, window_end, None, RetryPolicy::default())
+    run_twitch_pilot_with_faults(
+        twitch,
+        window_start,
+        window_end,
+        None,
+        RetryPolicy::default(),
+    )
 }
 
 /// [`run_twitch_pilot`] under a fault plan: list polls and per-stream
@@ -63,15 +70,36 @@ pub fn run_twitch_pilot_with_faults(
     fault_plan: Option<&FaultPlan>,
     retry: RetryPolicy,
 ) -> TwitchPilotReport {
+    run_twitch_pilot_observed(
+        twitch,
+        window_start,
+        window_end,
+        fault_plan,
+        retry,
+        StageSink::noop(),
+    )
+}
+
+/// [`run_twitch_pilot_with_faults`] reporting per-call telemetry
+/// (Helix list polls, recording taps, chat polls) into `sink`.
+pub fn run_twitch_pilot_observed(
+    twitch: &Twitch,
+    window_start: SimTime,
+    window_end: SimTime,
+    fault_plan: Option<&FaultPlan>,
+    retry: RetryPolicy,
+    sink: StageSink,
+) -> TwitchPilotReport {
     let keywords: KeywordSet = twitch_keyword_set();
     let mut report = TwitchPilotReport::default();
     let mut seen: HashSet<TwitchStreamId> = HashSet::new();
     let mut chat_cursor: HashMap<TwitchStreamId, SimTime> = HashMap::new();
-    let mut gate = FaultDriver::new(fault_plan, "twitch.pilot", retry);
+    let mut gate = Gated::new(fault_plan, "twitch.pilot", retry, sink.clone());
+    let _window_span = sink.span_sim("twitch.window", window_start.0);
 
     let mut t = window_start;
     while t < window_end {
-        let listed = twitch.get_streams_checked(t, &mut gate).unwrap_or_default();
+        let listed = twitch.get_streams_gated(t, &mut gate).unwrap_or_default();
         for stream in listed {
             let is_new = seen.insert(stream.id);
             if is_new {
@@ -94,7 +122,7 @@ pub fn run_twitch_pilot_with_faults(
 
             // Record 20 seconds (ads occupy the first ~15).
             let frames = twitch
-                .record_checked(stream.id, t, SimDuration::seconds(20), &mut gate)
+                .record_gated(stream.id, t, SimDuration::seconds(20), &mut gate)
                 .unwrap_or_default();
             if !frames.is_empty() {
                 report.recorded += 1;
@@ -109,7 +137,7 @@ pub fn run_twitch_pilot_with_faults(
             // On a denied chat poll the cursor stays put, so the next
             // successful poll recovers the missed interval while the
             // stream is still live.
-            if let Ok(messages) = twitch.chat_since_checked(stream.id, since, t, &mut gate) {
+            if let Ok(messages) = twitch.chat_since_gated(stream.id, since, t, &mut gate) {
                 for msg in messages {
                     for url in extract_urls(&msg.text) {
                         report.chat_urls.push(url.url);
@@ -123,6 +151,16 @@ pub fn run_twitch_pilot_with_faults(
     report.chat_urls.sort();
     report.chat_urls.dedup();
     report.degradation = gate.stats();
+    drop(gate); // flush per-call telemetry before the summary rows
+    for (metric, value) in [
+        ("streams_listed", report.streams_listed as u64),
+        ("candidates", report.candidates as u64),
+        ("recorded", report.recorded as u64),
+        ("qr_hits", report.qr_hits as u64),
+        ("chat_urls", report.chat_urls.len() as u64),
+    ] {
+        sink.counter_add("twitch.pilot", metric, value);
+    }
     report
 }
 
@@ -156,9 +194,17 @@ mod tests {
     #[test]
     fn filters_by_keyword_and_category() {
         let mut tw = Twitch::new();
-        tw.add_stream(stream("bitcoin talk live", "Just Chatting", StreamVideo::Benign));
+        tw.add_stream(stream(
+            "bitcoin talk live",
+            "Just Chatting",
+            StreamVideo::Benign,
+        ));
         tw.add_stream(stream("bitcoin speedrun", "Fortnite", StreamVideo::Benign));
-        tw.add_stream(stream("cooking pasta", "Just Chatting", StreamVideo::Benign));
+        tw.add_stream(stream(
+            "cooking pasta",
+            "Just Chatting",
+            StreamVideo::Benign,
+        ));
         let report = run_twitch_pilot(&tw, t0(), t0() + SimDuration::hours(1));
         assert_eq!(report.streams_listed, 3);
         assert_eq!(report.keyword_matches, 2);

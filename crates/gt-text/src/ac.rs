@@ -84,15 +84,17 @@ impl AhoCorasick {
 
         // Failure links by BFS, merging outputs along the way.
         let mut queue = VecDeque::new();
-        let root_children: Vec<(u8, u32)> =
-            nodes[0].next.iter().map(|(&b, &n)| (b, n)).collect();
+        let root_children: Vec<(u8, u32)> = nodes[0].next.iter().map(|(&b, &n)| (b, n)).collect();
         for (_, child) in &root_children {
             nodes[*child as usize].fail = 0;
             queue.push_back(*child);
         }
         while let Some(id) = queue.pop_front() {
-            let transitions: Vec<(u8, u32)> =
-                nodes[id as usize].next.iter().map(|(&b, &n)| (b, n)).collect();
+            let transitions: Vec<(u8, u32)> = nodes[id as usize]
+                .next
+                .iter()
+                .map(|(&b, &n)| (b, n))
+                .collect();
             for (b, child) in transitions {
                 // Follow fail links until a node with a b-transition (or root).
                 let mut f = nodes[id as usize].fail;
@@ -199,8 +201,10 @@ mod tests {
     fn classic_he_she_his_hers() {
         let ac = AhoCorasick::new(["he", "she", "his", "hers"]);
         let matches = ac.find_all(b"ushers");
-        let found: Vec<(usize, usize, usize)> =
-            matches.iter().map(|m| (m.pattern, m.start, m.end)).collect();
+        let found: Vec<(usize, usize, usize)> = matches
+            .iter()
+            .map(|m| (m.pattern, m.start, m.end))
+            .collect();
         // "she" at 1..4, "he" at 2..4, "hers" at 2..6
         assert!(found.contains(&(1, 1, 4)));
         assert!(found.contains(&(0, 2, 4)));

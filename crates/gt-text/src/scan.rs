@@ -61,13 +61,8 @@ pub fn scan_address_candidates(text: &str) -> Vec<AddressCandidate> {
         // ETH: 0x + exactly 40 hex digits.
         if c == '0' && i + 42 <= bytes.len() && bytes[i + 1] == b'x' {
             let run = &text[i + 2..];
-            let hex_len = run
-                .bytes()
-                .take_while(|b| b.is_ascii_hexdigit())
-                .count();
-            if hex_len == 40
-                && (i + 42 == bytes.len() || !is_word_char(bytes[i + 42]))
-            {
+            let hex_len = run.bytes().take_while(|b| b.is_ascii_hexdigit()).count();
+            if hex_len == 40 && (i + 42 == bytes.len() || !is_word_char(bytes[i + 42])) {
                 out.push(AddressCandidate {
                     kind: CandidateKind::HexEth,
                     text: text[i..i + 42].to_string(),
@@ -85,7 +80,9 @@ pub fn scan_address_candidates(text: &str) -> Vec<AddressCandidate> {
         {
             let run_len = text[i + 3..]
                 .chars()
-                .take_while(|&ch| in_alphabet(BECH32_CHARSET, ch.to_ascii_lowercase()) || ch.is_ascii_digit())
+                .take_while(|&ch| {
+                    in_alphabet(BECH32_CHARSET, ch.to_ascii_lowercase()) || ch.is_ascii_digit()
+                })
                 .count();
             let total = 3 + run_len;
             if (14..=90).contains(&total)

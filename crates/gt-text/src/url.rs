@@ -42,7 +42,18 @@ fn is_path_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric()
         || matches!(
             b,
-            b'-' | b'.' | b'_' | b'~' | b'/' | b'?' | b'#' | b'&' | b'=' | b'%' | b'+' | b':' | b'@'
+            b'-' | b'.'
+                | b'_'
+                | b'~'
+                | b'/'
+                | b'?'
+                | b'#'
+                | b'&'
+                | b'='
+                | b'%'
+                | b'+'
+                | b':'
+                | b'@'
         )
 }
 
@@ -193,7 +204,10 @@ mod tests {
 
     #[test]
     fn www_without_scheme() {
-        assert_eq!(urls("visit www.ripple2x.net today"), ["https://www.ripple2x.net"]);
+        assert_eq!(
+            urls("visit www.ripple2x.net today"),
+            ["https://www.ripple2x.net"]
+        );
     }
 
     #[test]
@@ -239,9 +253,12 @@ mod tests {
 
     #[test]
     fn no_match_inside_words() {
-        assert!(urls("notwww.example.comtext").is_empty() || !urls("notwww.example.comtext")
-            .iter()
-            .any(|u| u.contains("notwww")));
+        assert!(
+            urls("notwww.example.comtext").is_empty()
+                || !urls("notwww.example.comtext")
+                    .iter()
+                    .any(|u| u.contains("notwww"))
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::host::{FetchError, NetOrigin, Request, Response, WebHost};
 use crate::url::Url;
-use gt_sim::faults::FaultDriver;
+use gt_sim::faults::{CheckedCall, FaultDriver};
 use gt_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -119,25 +119,26 @@ impl Crawler {
     /// Crawl one URL at `now`, following front pages up to the
     /// configured interaction budget.
     pub fn crawl(&self, host: &WebHost, url: &Url, now: SimTime) -> CrawlOutcome {
-        self.crawl_checked(host, url, now, &mut FaultDriver::disabled())
+        self.crawl_gated(host, url, now, &mut FaultDriver::disabled())
     }
 
-    /// [`Crawler::crawl`] under a fault gate: every fetch consults the
-    /// gate's `FaultPlan`, with transient failures retried inside the
-    /// gate's `RetryPolicy` budget. With a disabled gate this is
+    /// [`Crawler::crawl`] under a checked-call gate: every fetch
+    /// consults the gate's `FaultPlan`, with transient failures retried
+    /// inside the gate's `RetryPolicy` budget, and an observing gate
+    /// records per-fetch telemetry. With a pass-through gate this is
     /// byte-for-byte identical to `crawl`.
-    pub fn crawl_checked(
+    pub fn crawl_gated<G: CheckedCall>(
         &self,
         host: &WebHost,
         url: &Url,
         now: SimTime,
-        gate: &mut FaultDriver<'_>,
+        gate: &mut G,
     ) -> CrawlOutcome {
         let mut interacted = false;
         let mut interactions = 0u32;
         loop {
             let response: Response =
-                match host.fetch_checked(&self.request(url, interacted), now, gate) {
+                match host.fetch_gated(&self.request(url, interacted), now, gate) {
                     Ok(r) => r,
                     Err(e) => return CrawlOutcome::Error(e),
                 };
@@ -159,6 +160,18 @@ impl Crawler {
                 html: response.body,
             };
         }
+    }
+
+    /// Deprecated alias for [`Crawler::crawl_gated`].
+    #[deprecated(since = "0.1.0", note = "use `crawl_gated` (any `CheckedCall` gate)")]
+    pub fn crawl_checked(
+        &self,
+        host: &WebHost,
+        url: &Url,
+        now: SimTime,
+        gate: &mut FaultDriver<'_>,
+    ) -> CrawlOutcome {
+        self.crawl_gated(host, url, now, gate)
     }
 
     /// Crawl a batch of URLs in parallel with a worker pool.
@@ -358,7 +371,10 @@ mod tests {
             ..Default::default()
         };
         let crawler = Crawler::new(config);
-        assert_eq!(crawler.crawl(&host, &url(), t(10)), CrawlOutcome::Challenged);
+        assert_eq!(
+            crawler.crawl(&host, &url(), t(10)),
+            CrawlOutcome::Challenged
+        );
     }
 
     #[test]
@@ -398,10 +414,7 @@ mod tests {
         assert!(states[0].retired);
         assert_eq!(states[0].consecutive_errors, RETIRE_AFTER_ERRORS);
         // Retired after day 4 (errors on days 2,3,4): last visit day 4.
-        assert_eq!(
-            states[0].last_visited_day,
-            Some(t(4 * 86_400).day_number())
-        );
+        assert_eq!(states[0].last_visited_day, Some(t(4 * 86_400).day_number()));
     }
 
     #[test]
@@ -449,7 +462,7 @@ mod tests {
         let crawler = Crawler::new(CrawlerConfig::default());
         let mut gate = FaultDriver::disabled();
         assert_eq!(
-            crawler.crawl_checked(&host, &url(), t(10), &mut gate),
+            crawler.crawl_gated(&host, &url(), t(10), &mut gate),
             crawler.crawl(&host, &url(), t(10))
         );
         assert!(gate.stats().is_zero());
@@ -472,14 +485,14 @@ mod tests {
         );
         let mut gate = FaultDriver::new(Some(&plan), "test", RetryPolicy::default());
         assert_eq!(
-            crawler.crawl_checked(&host, &url(), t(10), &mut gate),
+            crawler.crawl_gated(&host, &url(), t(10), &mut gate),
             CrawlOutcome::Error(FetchError::DnsFailure)
         );
         assert!(FetchError::DnsFailure.is_transient());
         assert_eq!(gate.stats().lost, 1);
         // Outside the window the crawl recovers.
         assert!(crawler
-            .crawl_checked(&host, &url(), t(60), &mut gate)
+            .crawl_gated(&host, &url(), t(60), &mut gate)
             .html()
             .is_some());
     }

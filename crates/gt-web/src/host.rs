@@ -1,7 +1,7 @@
 //! The simulated web: domains, cloaking scam sites, benign sites.
 
 use crate::url::Url;
-use gt_sim::faults::{FaultDriver, FaultKind, Substrate};
+use gt_sim::faults::{CheckedCall, FaultDriver, FaultKind, Substrate};
 use gt_sim::SimTime;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -264,37 +264,54 @@ impl WebHost {
     /// fetch-layer windows are retried inside the gate's budget and
     /// only surface once the budget or schedule says so. A served
     /// response always carries data as of `now` (snapshot semantics).
-    pub fn fetch_checked(
+    /// An observing gate additionally records per-substrate call counts
+    /// and served body bytes.
+    pub fn fetch_gated<G: CheckedCall>(
         &self,
         req: &Request,
         now: SimTime,
-        gate: &mut FaultDriver<'_>,
+        gate: &mut G,
     ) -> Result<Response, FetchError> {
-        if gate.is_disabled() {
+        if gate.pass_through() {
             return self.fetch(req, now);
         }
         for (sub, err) in [
             (Substrate::WebDns, FetchError::DnsFailure),
             (Substrate::WebTls, FetchError::TlsHandshake),
         ] {
-            if gate.admit(sub, now).is_err() {
+            if gate.checked(sub, now, || ()).is_err() {
                 self.stats.lock().errors += 1;
                 return Err(err);
             }
         }
-        if gate.admit(Substrate::WebFetch, now).is_err() {
-            let err = match gate
-                .plan()
-                .and_then(|p| p.fault_at(Substrate::WebFetch, now))
-            {
-                Some(FaultKind::RateLimit) => FetchError::RateLimited,
-                Some(FaultKind::Outage) => FetchError::ConnectionFailed,
-                _ => FetchError::Timeout,
-            };
-            self.stats.lock().errors += 1;
-            return Err(err);
+        let fetched = gate.checked_counted(Substrate::WebFetch, now, || {
+            let result = self.fetch(req, now);
+            let bytes = result.as_ref().map(|r| r.body.len() as u64).unwrap_or(0);
+            (result, bytes)
+        });
+        match fetched {
+            Ok(result) => result,
+            Err(_denied) => {
+                let err = match gate.active_fault(Substrate::WebFetch, now) {
+                    Some(FaultKind::RateLimit) => FetchError::RateLimited,
+                    Some(FaultKind::Outage) => FetchError::ConnectionFailed,
+                    _ => FetchError::Timeout,
+                };
+                self.stats.lock().errors += 1;
+                Err(err)
+            }
         }
-        self.fetch(req, now)
+    }
+
+    /// Deprecated alias for [`WebHost::fetch_gated`].
+    #[deprecated(since = "0.1.0", note = "use `fetch_gated` (any `CheckedCall` gate)")]
+    pub fn fetch_checked(
+        &self,
+        req: &Request,
+        now: SimTime,
+        gate: &mut FaultDriver<'_>,
+    ) -> Result<Response, FetchError> {
+        self.fetch_gated(req, now, gate)
     }
 }
 

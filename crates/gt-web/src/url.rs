@@ -158,7 +158,10 @@ mod tests {
     #[test]
     fn builders() {
         let u = Url::parse("https://a.io/start").unwrap();
-        assert_eq!(u.with_query("step=claim").to_string(), "https://a.io/start?step=claim");
+        assert_eq!(
+            u.with_query("step=claim").to_string(),
+            "https://a.io/start?step=claim"
+        );
         assert_eq!(u.with_path("btc").to_string(), "https://a.io/btc");
     }
 

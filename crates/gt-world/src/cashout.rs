@@ -64,7 +64,9 @@ pub fn run(
     let mut intermediaries: Vec<Address> = Vec::new();
     let weights: Vec<f64> = DEST_MIX.iter().map(|&(_, w)| w).collect();
 
-    let pick_dest = |coin: Coin, rng: &mut rand::rngs::StdRng, fresh: &mut AddressGenerator<rand::rngs::StdRng>| {
+    let pick_dest = |coin: Coin,
+                     rng: &mut rand::rngs::StdRng,
+                     fresh: &mut AddressGenerator<rand::rngs::StdRng>| {
         let (category, _) = DEST_MIX[sample_weighted(rng, &weights)];
         match category {
             Some(c) => (
@@ -131,7 +133,9 @@ pub fn run(
                 continue;
             }
             let (dest, category) = pick_dest(Coin::Btc, &mut rng, &mut fresh);
-            let Address::Btc(dest_btc) = dest else { unreachable!() };
+            let Address::Btc(dest_btc) = dest else {
+                unreachable!()
+            };
             outputs.push(TxOut {
                 address: dest_btc,
                 value: Amount(value),
@@ -178,7 +182,9 @@ pub fn run(
                         continue;
                     }
                     let (dest, category) = pick_dest(Coin::Eth, &mut rng, &mut fresh);
-                    let Address::Eth(dest_eth) = dest else { unreachable!() };
+                    let Address::Eth(dest_eth) = dest else {
+                        unreachable!()
+                    };
                     chains
                         .eth
                         .transfer(a, dest_eth, Amount(value), now)
@@ -214,7 +220,9 @@ pub fn run(
                         continue;
                     }
                     let (dest, category) = pick_dest(Coin::Xrp, &mut rng, &mut fresh);
-                    let Address::Xrp(dest_xrp) = dest else { unreachable!() };
+                    let Address::Xrp(dest_xrp) = dest else {
+                        unreachable!()
+                    };
                     chains
                         .xrp
                         .send(a, dest_xrp, Amount(value), None, now)
@@ -265,7 +273,9 @@ pub fn run(
                 let dest = services
                     .random_of_category(category, Coin::Btc, &mut rng)
                     .expect("directory covers category");
-                let Address::Btc(dest_btc) = dest else { unreachable!() };
+                let Address::Btc(dest_btc) = dest else {
+                    unreachable!()
+                };
                 let _ = chains.btc.pay(
                     &[a],
                     dest_btc,
@@ -283,8 +293,12 @@ pub fn run(
                 let dest = services
                     .random_of_category(category, Coin::Eth, &mut rng)
                     .expect("directory covers category");
-                let Address::Eth(dest_eth) = dest else { unreachable!() };
-                let _ = chains.eth.transfer(a, dest_eth, Amount(balance.0 - 1_000), now);
+                let Address::Eth(dest_eth) = dest else {
+                    unreachable!()
+                };
+                let _ = chains
+                    .eth
+                    .transfer(a, dest_eth, Amount(balance.0 - 1_000), now);
             }
             Address::Xrp(a) => {
                 let balance = chains.xrp.balance(a);
@@ -294,8 +308,12 @@ pub fn run(
                 let dest = services
                     .random_of_category(category, Coin::Xrp, &mut rng)
                     .expect("directory covers category");
-                let Address::Xrp(dest_xrp) = dest else { unreachable!() };
-                let _ = chains.xrp.send(a, dest_xrp, Amount(balance.0 - 1_000), None, now);
+                let Address::Xrp(dest_xrp) = dest else {
+                    unreachable!()
+                };
+                let _ = chains
+                    .xrp
+                    .send(a, dest_xrp, Amount(balance.0 - 1_000), None, now);
             }
         }
     }

@@ -62,7 +62,10 @@ impl ServiceDirectory {
         let mut rng = rng_factory.rng("services");
         let mut gen = AddressGenerator::new(rng_factory.rng("service-addresses"));
 
-        let make = |name: &str, category: Category, addrs_per_coin: usize, gen: &mut AddressGenerator<StdRng>| {
+        let make = |name: &str,
+                    category: Category,
+                    addrs_per_coin: usize,
+                    gen: &mut AddressGenerator<StdRng>| {
             let mut svc = Service {
                 name: name.to_string(),
                 category,
@@ -149,7 +152,11 @@ impl ServiceDirectory {
             for &a in &svc.eth {
                 chains
                     .eth
-                    .mint(a, Amount(EXCHANGE_FLOAT_USD_EQUIV * 1_000 * 1_000_000_000), genesis)
+                    .mint(
+                        a,
+                        Amount(EXCHANGE_FLOAT_USD_EQUIV * 1_000 * 1_000_000_000),
+                        genesis,
+                    )
                     .expect("genesis funding");
             }
             for &a in &svc.xrp {

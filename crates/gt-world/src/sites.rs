@@ -85,8 +85,22 @@ pub const PERSONAE: &[&str] = &[
 ];
 
 const NAME_PARTS: &[&str] = &[
-    "elon", "musk", "tesla", "ripple", "xrp", "garling", "vitalik", "eth", "btc", "saylor",
-    "hoskinson", "ada", "binance", "crypto", "coin", "official",
+    "elon",
+    "musk",
+    "tesla",
+    "ripple",
+    "xrp",
+    "garling",
+    "vitalik",
+    "eth",
+    "btc",
+    "saylor",
+    "hoskinson",
+    "ada",
+    "binance",
+    "crypto",
+    "coin",
+    "official",
 ];
 const ACTION_PARTS: &[&str] = &[
     "giveaway", "give", "drop", "airdrop", "2x", "x2", "double", "event", "promo", "claim",
@@ -276,7 +290,15 @@ mod tests {
         assert!(html.contains(&a1.encode()));
         assert!(html.contains(&a2.encode()));
         // CryptoScamTracker HTML keywords the validator relies on.
-        for kw in ["participate", "send", "hurry", "bonus", "immediately", "rules", "giveaway"] {
+        for kw in [
+            "participate",
+            "send",
+            "hurry",
+            "bonus",
+            "immediately",
+            "rules",
+            "giveaway",
+        ] {
             assert!(html.to_lowercase().contains(kw), "missing keyword {kw}");
         }
         // The address scanner finds the embedded addresses.

@@ -17,7 +17,11 @@ const GAME_CATEGORIES: &[&str] = &[
 const NON_GAME_CATEGORIES: &[&str] = &["Just Chatting", "Music", "Sports", "Crypto", "Talk Shows"];
 
 /// Generate the Twitch population for the pilot window.
-pub fn generate(config: &WorldConfig, factory: &RngFactory, twitch: &mut Twitch) -> Vec<TwitchStreamId> {
+pub fn generate(
+    config: &WorldConfig,
+    factory: &RngFactory,
+    twitch: &mut Twitch,
+) -> Vec<TwitchStreamId> {
     let mut rng = factory.rng("twitch");
     let window = (config.pilot_end - config.pilot_start).as_seconds();
     let mut ids = Vec::with_capacity(config.twitch_streams);
@@ -41,7 +45,7 @@ pub fn generate(config: &WorldConfig, factory: &RngFactory, twitch: &mut Twitch)
                     "eth merge anniversary chat",
                     "xrp news and chill",
                 ][rng.gen_range(0..4)]
-                    .to_string(),
+                .to_string(),
                 vec!["crypto".to_string(), "bitcoin".to_string()],
             )
         } else if is_gaming {

@@ -286,7 +286,9 @@ pub fn generate_tweets(
                 }
             }
             let mentions = if rng.gen_bool(0.001) {
-                vec![TwitterAccountId(rng.gen_range(0..config.tweet_accounts as u64))]
+                vec![TwitterAccountId(
+                    rng.gen_range(0..config.tweet_accounts as u64),
+                )]
             } else {
                 vec![]
             };
@@ -384,7 +386,12 @@ mod tests {
         let mut promoted = 0;
         for (i, d) in world.domains.iter().enumerate() {
             let found = snapshot.tweets_with_domain(&d.domain);
-            assert_eq!(found.len(), world.lure_times[i].len(), "domain {}", d.domain);
+            assert_eq!(
+                found.len(),
+                world.lure_times[i].len(),
+                "domain {}",
+                d.domain
+            );
             if !found.is_empty() {
                 promoted += 1;
             }

@@ -225,7 +225,13 @@ pub fn generate(
     // budget is spent. (YouTube domains carry op == MAX, so each is its
     // own group and this degenerates to per-domain ranking.)
     let mut op_lures: HashMap<usize, usize> = HashMap::new();
-    let op_key = |i: usize| if domains[i].op == usize::MAX { usize::MAX - i } else { domains[i].op };
+    let op_key = |i: usize| {
+        if domains[i].op == usize::MAX {
+            usize::MAX - i
+        } else {
+            domains[i].op
+        }
+    };
     for &i in &eligible {
         *op_lures.entry(op_key(i)).or_insert(0) += lure_count(i);
     }
@@ -258,12 +264,19 @@ pub fn generate(
     // total revenue still land on target.
     let covered: Vec<bool> = coins
         .iter()
-        .map(|&c| productive.iter().any(|&d| domains[d].address_for(c).is_some()))
+        .map(|&c| {
+            productive
+                .iter()
+                .any(|&d| domains[d].address_for(c).is_some())
+        })
         .collect();
     let mut mix = targets.mix;
     let mut revenue_usd = targets.revenue_usd;
     if covered.iter().any(|&c| !c) {
-        let lost_revenue: f64 = (0..3).filter(|&i| !covered[i]).map(|i| revenue_usd[i]).sum();
+        let lost_revenue: f64 = (0..3)
+            .filter(|&i| !covered[i])
+            .map(|i| revenue_usd[i])
+            .sum();
         for i in 0..3 {
             if !covered[i] {
                 mix[i] = 0.0;
@@ -294,14 +307,7 @@ pub fn generate(
     let mut amount_queues: Vec<Vec<f64>> = coins
         .iter()
         .enumerate()
-        .map(|(ci, _)| {
-            draw_amounts(
-                coin_counts[ci],
-                revenue_usd[ci],
-                targets.sigma,
-                &mut rng,
-            )
-        })
+        .map(|(ci, _)| draw_amounts(coin_counts[ci], revenue_usd[ci], targets.sigma, &mut rng))
         .collect();
 
     // Victim wallets: first `victims` payments get fresh victims, the
@@ -373,29 +379,42 @@ pub fn generate(
             .address_for(coin)
             .expect("coin chosen from displayed set");
 
-            // Victim: new until the victim budget is spent, then repeat.
-            let new_victim = |rng: &mut StdRng,
-                                  addr_gen: &mut AddressGenerator<StdRng>,
-                                  wallets: &mut Vec<VictimWallet>,
-                                  wallet_of: &mut HashMap<u64, usize>,
-                                  victims_by_coin: &mut HashMap<Coin, Vec<u64>>,
-                                  tags: &mut TagService,
-                                  id: u64| {
-                let from_exchange = rng.gen_bool(config.exchange_origin_rate);
-                let address = addr_gen.generate(coin);
-                if from_exchange {
-                    tags.tag(address, Category::Exchange);
-                }
-                wallet_of.insert(id, wallets.len());
-                wallets.push(VictimWallet {
-                    address,
-                    from_exchange,
-                });
-                victims_by_coin.entry(coin).or_default().push(id);
-                id
-            };
-            let victim = if payment_no < targets.victims {
-                new_victim(
+        // Victim: new until the victim budget is spent, then repeat.
+        let new_victim = |rng: &mut StdRng,
+                          addr_gen: &mut AddressGenerator<StdRng>,
+                          wallets: &mut Vec<VictimWallet>,
+                          wallet_of: &mut HashMap<u64, usize>,
+                          victims_by_coin: &mut HashMap<Coin, Vec<u64>>,
+                          tags: &mut TagService,
+                          id: u64| {
+            let from_exchange = rng.gen_bool(config.exchange_origin_rate);
+            let address = addr_gen.generate(coin);
+            if from_exchange {
+                tags.tag(address, Category::Exchange);
+            }
+            wallet_of.insert(id, wallets.len());
+            wallets.push(VictimWallet {
+                address,
+                from_exchange,
+            });
+            victims_by_coin.entry(coin).or_default().push(id);
+            id
+        };
+        let victim = if payment_no < targets.victims {
+            new_victim(
+                &mut rng,
+                &mut addr_gen,
+                &mut wallets,
+                &mut wallet_of,
+                &mut victims_by_coin,
+                tags,
+                victim_id_base + payment_no as u64,
+            )
+        } else {
+            // A repeat payer with a wallet for this coin, if any.
+            match victims_by_coin.get(&coin).filter(|v| !v.is_empty()) {
+                Some(pool) => pool[rng.gen_range(0..pool.len())],
+                None => new_victim(
                     &mut rng,
                     &mut addr_gen,
                     &mut wallets,
@@ -403,34 +422,21 @@ pub fn generate(
                     &mut victims_by_coin,
                     tags,
                     victim_id_base + payment_no as u64,
-                )
-            } else {
-                // A repeat payer with a wallet for this coin, if any.
-                match victims_by_coin.get(&coin).filter(|v| !v.is_empty()) {
-                    Some(pool) => pool[rng.gen_range(0..pool.len())],
-                    None => new_victim(
-                        &mut rng,
-                        &mut addr_gen,
-                        &mut wallets,
-                        &mut wallet_of,
-                        &mut victims_by_coin,
-                        tags,
-                        victim_id_base + payment_no as u64,
-                    ),
-                }
-            };
-            let wallet = &wallets[wallet_of[&victim]];
-            intents.push(Intent {
-                time: lures.co_occurring_time(domain_idx, &mut rng),
-                coin,
-                usd,
-                recipient,
-                kind: IntentKind::Victim {
-                    victim,
-                    from_exchange: wallet.from_exchange,
-                    co_occurring: true,
-                },
-            });
+                ),
+            }
+        };
+        let wallet = &wallets[wallet_of[&victim]];
+        intents.push(Intent {
+            time: lures.co_occurring_time(domain_idx, &mut rng),
+            coin,
+            usd,
+            recipient,
+            kind: IntentKind::Victim {
+                victim,
+                from_exchange: wallet.from_exchange,
+                co_occurring: true,
+            },
+        });
         payment_no += 1;
     }
 
@@ -564,10 +570,16 @@ fn fund_if_needed(chains: &mut ChainView, sender: Address, units: u64, time: Sim
                 .expect("victim funding");
         }
         Address::Eth(a) => {
-            chains.eth.mint(a, Amount(buffer), time).expect("victim funding");
+            chains
+                .eth
+                .mint(a, Amount(buffer), time)
+                .expect("victim funding");
         }
         Address::Xrp(a) => {
-            chains.xrp.fund(a, Amount(buffer), time).expect("victim funding");
+            chains
+                .xrp
+                .fund(a, Amount(buffer), time)
+                .expect("victim funding");
         }
     }
 }
@@ -576,7 +588,10 @@ fn top_up(chains: &mut ChainView, address: Address, units: u64, time: SimTime) {
     let buffer = units + units / 10 + 100_000;
     match address {
         Address::Btc(a) => {
-            chains.btc.coinbase(a, Amount(buffer), time).expect("top up");
+            chains
+                .btc
+                .coinbase(a, Amount(buffer), time)
+                .expect("top up");
         }
         Address::Eth(a) => {
             chains.eth.mint(a, Amount(buffer), time).expect("top up");

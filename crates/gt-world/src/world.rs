@@ -61,7 +61,12 @@ impl World {
 
         // ---- web hosting ----
         let mut web = WebHost::new();
-        for d in tw.domains.iter().chain(&yt.domains).chain(&yt.pilot_domains) {
+        for d in tw
+            .domains
+            .iter()
+            .chain(&yt.domains)
+            .chain(&yt.pilot_domains)
+        {
             web.add_scam_site(d.site_spec());
         }
         // The benign tracker site linked from benign stream chats.
@@ -293,7 +298,10 @@ mod tests {
                 w.truth.scam_addresses.contains(s)
                     || w.tags.category_direct(*s) == Some(gt_cluster::Category::Scam)
             });
-            assert!(sender_known, "consolidation sender must be a known scam address");
+            assert!(
+                sender_known,
+                "consolidation sender must be a known scam address"
+            );
         }
     }
 

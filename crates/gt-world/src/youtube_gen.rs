@@ -88,7 +88,11 @@ fn generate_domains(
             let mut addresses = Vec::new();
             if i == 0 && n > 1 {
                 let (label, text) = crate::sites::other_coin_address(rng);
-                addresses.push(DisplayAddress { label, text, parsed: None });
+                addresses.push(DisplayAddress {
+                    label,
+                    text,
+                    parsed: None,
+                });
             } else {
                 let mut coins = vec![Coin::Btc];
                 if rng.gen_bool(0.5) {
@@ -268,7 +272,7 @@ fn make_benign_stream(
                 "tron network stats live",
                 "algorand dev office hours",
             ][rng.gen_range(0..15)]
-                .to_string(),
+            .to_string(),
             "daily technical analysis, not financial advice".to_string(),
             "en".to_string(),
         )
@@ -280,7 +284,7 @@ fn make_benign_stream(
                 "street cam: downtown live",
                 "lofi beats to chart to",
             ][rng.gen_range(0..4)]
-                .to_string(),
+            .to_string(),
             "chill stream".to_string(),
             "en".to_string(),
         )
@@ -292,7 +296,7 @@ fn make_benign_stream(
                 "실시간 시장 분석",
                 "прямой эфир: обзор рынка",
             ][rng.gen_range(0..4)]
-                .to_string(),
+            .to_string(),
             "transmisión en vivo".to_string(),
             ["es", "pt", "ko", "ru"][rng.gen_range(0..4)].to_string(),
         )
@@ -307,8 +311,13 @@ fn make_benign_stream(
         let text = if rng.gen_bool(0.05) {
             "check my portfolio tracker https://chart-tools.example-tracker.com".to_string()
         } else {
-            ["nice move", "what about eth?", "lol", "to the moon", "thanks for the stream"]
-                [rng.gen_range(0..5)]
+            [
+                "nice move",
+                "what about eth?",
+                "lol",
+                "to the moon",
+                "thanks for the stream",
+            ][rng.gen_range(0..5)]
             .to_string()
         };
         chat.push(ChatMessage {
@@ -483,8 +492,8 @@ pub fn generate(
     let mut pilot_streams = Vec::new();
     let pilot_days = (config.pilot_end - config.pilot_start).as_days().max(1);
     for i in 0..config.pilot_streams {
-        let start = config.pilot_start
-            + SimDuration::seconds(rng.gen_range(0..pilot_days * 86_400));
+        let start =
+            config.pilot_start + SimDuration::seconds(rng.gen_range(0..pilot_days * 86_400));
         let domain = &pilot_domains[i % pilot_domains.len()];
         let channel = channels[channel_zipf.sample(&mut rng) - 1];
         let pilot_views = rng.gen_range(100..20_000);
@@ -509,7 +518,9 @@ pub fn generate(
         let textual = rng.gen_bool(0.33);
         let english = textual || rng.gen_bool(0.5);
         let channel = benign_channels[i % benign_channels.len()];
-        youtube.add_stream(make_benign_stream(channel, start, &mut rng, textual, english));
+        youtube.add_stream(make_benign_stream(
+            channel, start, &mut rng, textual, english,
+        ));
     }
 
     YouTubeWorld {
@@ -540,7 +551,10 @@ mod tests {
     fn profile_is_normalised_with_peak() {
         let sum: f64 = YOUTUBE_WEEKLY_PROFILE.iter().sum();
         assert!((sum - 1.0).abs() < 0.01, "sums to {sum}");
-        let peak = YOUTUBE_WEEKLY_PROFILE.iter().cloned().fold(0.0f64, f64::max);
+        let peak = YOUTUBE_WEEKLY_PROFILE
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
         assert_eq!(YOUTUBE_WEEKLY_PROFILE[6], peak, "peak in September");
         assert!((peak - 289.0 / 2_069.0).abs() < 0.01);
         // A holiday surge exists late in the window.
@@ -564,8 +578,7 @@ mod tests {
     #[test]
     fn views_rescale_to_target() {
         let (config, world, _) = small();
-        let drift =
-            (world.total_scam_views as f64 / config.total_scam_views as f64 - 1.0).abs();
+        let drift = (world.total_scam_views as f64 / config.total_scam_views as f64 - 1.0).abs();
         assert!(drift < 0.05, "views drift {drift}");
     }
 
@@ -592,7 +605,10 @@ mod tests {
             .filter(|&&id| {
                 matches!(
                     youtube.stream(id).video,
-                    StreamVideo::ScamLoop { qr_duty_cycle: Some(_), .. }
+                    StreamVideo::ScamLoop {
+                        qr_duty_cycle: Some(_),
+                        ..
+                    }
                 )
             })
             .count();

@@ -86,9 +86,9 @@ fn co_occurring_payments_sit_inside_lure_windows() {
                 .enumerate()
                 .filter(|(_, d)| d.tracked_addresses().any(|a| a == payment.recipient))
                 .any(|(i, _)| {
-                    tweet_times[i].iter().any(|&t| {
-                        payment.time >= t && payment.time <= t + SimDuration::days(7)
-                    })
+                    tweet_times[i]
+                        .iter()
+                        .any(|&t| payment.time >= t && payment.time <= t + SimDuration::days(7))
                 });
             assert!(ok, "payment {:?} outside all windows", payment.tx);
         }

@@ -64,8 +64,14 @@ fn main() {
         .submit(
             &inputs,
             &[
-                TxOut { address: exchange[0], value: Amount(1_500_000_000) },
-                TxOut { address: exchange[1], value: Amount(499_990_000) },
+                TxOut {
+                    address: exchange[0],
+                    value: Amount(1_500_000_000),
+                },
+                TxOut {
+                    address: exchange[1],
+                    value: Amount(499_990_000),
+                },
             ],
             t,
         )
@@ -82,11 +88,25 @@ fn main() {
     }
     chains
         .btc
-        .pay(&[exchange[0]], scam_a, Amount(80_000_000), exchange[0], Amount(10_000), t)
+        .pay(
+            &[exchange[0]],
+            scam_a,
+            Amount(80_000_000),
+            exchange[0],
+            Amount(10_000),
+            t,
+        )
         .unwrap();
     chains
         .btc
-        .pay(&[exchange[1]], scam_b, Amount(120_000_000), exchange[1], Amount(10_000), t)
+        .pay(
+            &[exchange[1]],
+            scam_b,
+            Amount(120_000_000),
+            exchange[1],
+            Amount(10_000),
+            t,
+        )
         .unwrap();
 
     // A CoinJoin among unrelated users — clustering must skip it.
@@ -100,7 +120,10 @@ fn main() {
         .flat_map(|u| chains.btc.utxos_of(*u).into_iter().map(|(op, _)| op))
         .collect();
     let cj_outputs: Vec<TxOut> = (0..4)
-        .map(|_| TxOut { address: btc(gen.generate(Coin::Btc)), value: Amount(9_990_000) })
+        .map(|_| TxOut {
+            address: btc(gen.generate(Coin::Btc)),
+            value: Amount(9_990_000),
+        })
         .collect();
     chains.btc.submit(&cj_inputs, &cj_outputs, t).unwrap();
 
@@ -116,8 +139,14 @@ fn main() {
         .submit(
             &scam_inputs,
             &[
-                TxOut { address: cashout_dest, value: Amount(200_000_000) },
-                TxOut { address: mixer, value: Amount(89_950_000) },
+                TxOut {
+                    address: cashout_dest,
+                    value: Amount(200_000_000),
+                },
+                TxOut {
+                    address: mixer,
+                    value: Amount(89_950_000),
+                },
             ],
             t,
         )
@@ -159,6 +188,9 @@ fn main() {
             .category(transfer.recipient, &mut clustering)
             .map(|c| c.to_string())
             .unwrap_or_else(|| "unlabeled".into());
-        println!("  {} sat → {} ({label})", transfer.amount, transfer.recipient);
+        println!(
+            "  {} sat → {} ({label})",
+            transfer.amount, transfer.recipient
+        );
     }
 }

@@ -39,13 +39,42 @@ fn main() {
     let mut web = WebHost::new();
     let cases = [
         ("plain-give.com", CloakingProfile::default()),
-        ("ip-cloaked-give.com", CloakingProfile { ip_cloaking: true, ..Default::default() }),
-        ("ua-cloaked-give.com", CloakingProfile { ua_cloaking: true, ..Default::default() }),
-        ("frontpage-give.com", CloakingProfile { front_page: true, ..Default::default() }),
-        ("cloudflare-give.com", CloakingProfile { cloudflare: true, ..Default::default() }),
+        (
+            "ip-cloaked-give.com",
+            CloakingProfile {
+                ip_cloaking: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "ua-cloaked-give.com",
+            CloakingProfile {
+                ua_cloaking: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "frontpage-give.com",
+            CloakingProfile {
+                front_page: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "cloudflare-give.com",
+            CloakingProfile {
+                cloudflare: true,
+                ..Default::default()
+            },
+        ),
         (
             "fort-knox-give.com",
-            CloakingProfile { ip_cloaking: true, ua_cloaking: true, front_page: true, cloudflare: true },
+            CloakingProfile {
+                ip_cloaking: true,
+                ua_cloaking: true,
+                front_page: true,
+                cloudflare: true,
+            },
         ),
     ];
     for (domain, cloaking) in &cases {
@@ -54,10 +83,20 @@ fn main() {
 
     let crawlers = [
         ("naive", CrawlerConfig::naive()),
-        ("vpn only", CrawlerConfig { use_vpn: true, ..CrawlerConfig::naive() }),
+        (
+            "vpn only",
+            CrawlerConfig {
+                use_vpn: true,
+                ..CrawlerConfig::naive()
+            },
+        ),
         (
             "vpn + ua",
-            CrawlerConfig { use_vpn: true, spoof_user_agent: true, ..CrawlerConfig::naive() },
+            CrawlerConfig {
+                use_vpn: true,
+                spoof_user_agent: true,
+                ..CrawlerConfig::naive()
+            },
         ),
         ("hardened", CrawlerConfig::default()),
     ];

@@ -104,7 +104,12 @@ fn main() {
     for s in &report.streams {
         println!(
             "  [{}] {:?} \"{}\" — {} samples, {} with QR, peak {} concurrent, {} total views",
-            s.channel_name, s.stream, s.title, s.samples, s.qr_samples, s.max_concurrent,
+            s.channel_name,
+            s.stream,
+            s.title,
+            s.samples,
+            s.qr_samples,
+            s.max_concurrent,
             s.max_total_views
         );
     }
@@ -115,7 +120,10 @@ fn main() {
             UrlSource::QrCode => "QR code",
             UrlSource::Chat => "chat",
         };
-        println!("  {} via {} (stream {:?}, first seen {})", lead.url, how, lead.stream, lead.first_seen);
+        println!(
+            "  {} via {} (stream {:?}, first seen {})",
+            lead.url, how, lead.stream, lead.first_seen
+        );
     }
 
     println!("\n== crawled pages & validation ==");

@@ -20,7 +20,10 @@ fn main() {
         WorldConfig::scaled(scale)
     };
 
-    eprintln!("generating world at scale {scale} (seed {:#x}) ...", config.seed);
+    eprintln!(
+        "generating world at scale {scale} (seed {:#x}) ...",
+        config.seed
+    );
     let world = World::generate(config);
     eprintln!(
         "  {} tweets, {} streams, {} chain txs, {} web sites",

@@ -19,6 +19,7 @@ struct Args {
     markdown: Option<String>,
     json: Option<String>,
     artifacts: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -30,6 +31,7 @@ fn parse_args() -> Args {
         markdown: None,
         json: None,
         artifacts: None,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -77,9 +79,10 @@ fn parse_args() -> Args {
             "--markdown" => args.markdown = it.next(),
             "--json" => args.json = it.next(),
             "--artifacts" => args.artifacts = it.next(),
+            "--trace" => args.trace = it.next(),
             other => {
                 eprintln!("unknown flag {other}");
-                eprintln!("usage: experiments [--scale F] [--seed N] [--threads N] [--chaos SEED] [--markdown PATH] [--json PATH] [--artifacts DIR]");
+                eprintln!("usage: experiments [--scale F] [--seed N] [--threads N] [--chaos SEED] [--markdown PATH] [--json PATH] [--artifacts DIR] [--trace PATH]");
                 std::process::exit(2);
             }
         }
@@ -99,7 +102,10 @@ fn main() {
     }
 
     let t0 = std::time::Instant::now();
-    eprintln!("[1/2] generating world (scale {}, seed {:#x}) ...", args.scale, config.seed);
+    eprintln!(
+        "[1/2] generating world (scale {}, seed {:#x}) ...",
+        args.scale, config.seed
+    );
     let world = World::generate(config);
     eprintln!(
         "      {} tweets, {} streams, {} chain txs ({:.1}s)",
@@ -133,6 +139,19 @@ fn main() {
             d.lost
         );
     }
+    if run.telemetry.enabled {
+        eprintln!(
+            "      telemetry: {} metric rows, {} spans ({:.1}s wall)",
+            run.telemetry.metrics.len(),
+            run.telemetry.wall.spans.len(),
+            run.telemetry.wall.total_ms / 1_000.0
+        );
+    }
+
+    if let Some(path) = &args.trace {
+        std::fs::write(path, run.telemetry.chrome_trace_json()).expect("write trace file");
+        eprintln!("wrote {path} (chrome://tracing / Perfetto format)");
+    }
 
     let table = run.report.render_comparison(args.scale);
     println!("{table}");
@@ -146,6 +165,7 @@ fn main() {
             "comparison": run.report.compare_with_paper(args.scale),
             "timings": run.timings,
             "degradation": run.degradation,
+            "telemetry": run.telemetry,
         });
         std::fs::write(path, serde_json::to_string_pretty(&json).unwrap())
             .expect("write json report");
@@ -192,19 +212,29 @@ fn main() {
             run.report.fig5.keywordless_non_english,
             run.report.fig5.keywordless
         );
-        let _ = writeln!(md, "## Exchange block-list intervention (Section 6.2 extension)\n");
+        let _ = writeln!(
+            md,
+            "## Exchange block-list intervention (Section 6.2 extension)\n"
+        );
         let _ = writeln!(
             md,
             "If exchanges refused transfers to a scam address N after its first\n\
              observed payment, the preventable share of victim revenue would be:\n"
         );
-        let _ = writeln!(md, "| detection lag | payments blocked | USD prevented | share |");
+        let _ = writeln!(
+            md,
+            "| detection lag | payments blocked | USD prevented | share |"
+        );
         let _ = writeln!(md, "|---|---|---|---|");
         for o in &run.report.interventions {
             let _ = writeln!(
                 md,
                 "| {} | {} / {} | ${:.0} | {:.1}% |",
-                if o.lag_seconds == 0 { "instant".to_string() } else { format!("{}h", o.lag_seconds / 3600) },
+                if o.lag_seconds == 0 {
+                    "instant".to_string()
+                } else {
+                    format!("{}h", o.lag_seconds / 3600)
+                },
                 o.blocked,
                 o.payments,
                 o.prevented_usd,
@@ -239,7 +269,10 @@ fn main() {
              direct-edge view is depth 1; \"more advanced blockchain analysis\"\n\
              follows the intermediaries):\n"
         );
-        let _ = writeln!(md, "| depth | exchange share of traced value | addresses visited |");
+        let _ = writeln!(
+            md,
+            "| depth | exchange share of traced value | addresses visited |"
+        );
         let _ = writeln!(md, "|---|---|---|");
         for depth in [1usize, 2, 3, 4] {
             let exposure = givetake::cluster::aggregate_exposure(
@@ -293,8 +326,9 @@ fn write_artifacts(world: &World, dir: &str) {
             let path = format!("{dir}/figure2_stream_frame.pgm");
             let mut pgm = format!("P2\n{} {}\n255\n", frame.width, frame.height);
             for y in 0..frame.height {
-                let row: Vec<String> =
-                    (0..frame.width).map(|x| frame.get(x, y).to_string()).collect();
+                let row: Vec<String> = (0..frame.width)
+                    .map(|x| frame.get(x, y).to_string())
+                    .collect();
                 pgm.push_str(&row.join(" "));
                 pgm.push('\n');
             }

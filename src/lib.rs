@@ -33,6 +33,7 @@ pub use gt_chain as chain;
 pub use gt_cluster as cluster;
 pub use gt_core as core;
 pub use gt_hash as hash;
+pub use gt_obs as obs;
 pub use gt_price as price;
 pub use gt_qr as qr;
 pub use gt_sim as sim;

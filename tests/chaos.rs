@@ -32,9 +32,18 @@ fn assert_degraded_not_inflated(chaos: &PaperRun) {
 
     // Twitter's dataset comes straight from the archived tweet corpus —
     // no live collection, so no fault surface.
-    assert_eq!(chaos.report.table1.twitter_domains, base.report.table1.twitter_domains);
-    assert_eq!(chaos.report.table1.twitter_accounts, base.report.table1.twitter_accounts);
-    assert_eq!(chaos.report.table1.twitter_artifacts, base.report.table1.twitter_artifacts);
+    assert_eq!(
+        chaos.report.table1.twitter_domains,
+        base.report.table1.twitter_domains
+    );
+    assert_eq!(
+        chaos.report.table1.twitter_accounts,
+        base.report.table1.twitter_accounts
+    );
+    assert_eq!(
+        chaos.report.table1.twitter_artifacts,
+        base.report.table1.twitter_artifacts
+    );
 
     // YouTube's dataset is built from what the (faulted) monitor saw.
     assert!(chaos.report.table1.youtube_domains <= base.report.table1.youtube_domains);
@@ -66,11 +75,22 @@ fn assert_degraded_not_inflated(chaos: &PaperRun) {
     // Conversion *rates* stay in the clean run's ballpark: numerator and
     // denominator both shrink, so the ratio must not explode.
     for (c, b) in [
-        (&chaos.report.twitter_conversions, &base.report.twitter_conversions),
-        (&chaos.report.youtube_conversions, &base.report.youtube_conversions),
+        (
+            &chaos.report.twitter_conversions,
+            &base.report.twitter_conversions,
+        ),
+        (
+            &chaos.report.youtube_conversions,
+            &base.report.youtube_conversions,
+        ),
     ] {
         assert!(c.rate.is_finite());
-        assert!(c.rate <= b.rate * 3.0 + 1e-9, "rate {} vs clean {}", c.rate, b.rate);
+        assert!(
+            c.rate <= b.rate * 3.0 + 1e-9,
+            "rate {} vs clean {}",
+            c.rate,
+            b.rate
+        );
     }
 }
 
@@ -97,7 +117,10 @@ fn severe_chaos_still_completes() {
         .chaos(9, &ChaosProfile::severe())
         .run();
     assert!(chaos.degradation.total.injected() > 0);
-    assert!(chaos.degradation.total.lost > 0, "severe profile loses calls");
+    assert!(
+        chaos.degradation.total.lost > 0,
+        "severe profile loses calls"
+    );
     assert_degraded_not_inflated(&chaos);
 }
 
@@ -141,8 +164,14 @@ fn degradation_accounting_is_consistent() {
 
 #[test]
 fn chaos_run_is_reproducible() {
-    let a = Pipeline::new(world()).threads(2).chaos(11, &ChaosProfile::default()).run();
-    let b = Pipeline::new(world()).threads(2).chaos(11, &ChaosProfile::default()).run();
+    let a = Pipeline::new(world())
+        .threads(2)
+        .chaos(11, &ChaosProfile::default())
+        .run();
+    let b = Pipeline::new(world())
+        .threads(2)
+        .chaos(11, &ChaosProfile::default())
+        .run();
     assert_eq!(
         serde_json::to_string(&a.report).unwrap(),
         serde_json::to_string(&b.report).unwrap()
@@ -157,7 +186,10 @@ fn quiet_plan_matches_clean_run_byte_for_byte() {
         .fault_plan(Some(FaultPlan::quiet(42)))
         .run();
     assert!(quiet.degradation.enabled);
-    assert!(quiet.degradation.total.is_zero(), "quiet plan injects nothing");
+    assert!(
+        quiet.degradation.total.is_zero(),
+        "quiet plan injects nothing"
+    );
     assert_eq!(
         serde_json::to_string(&quiet.report).unwrap(),
         serde_json::to_string(&clean().report).unwrap(),
@@ -171,6 +203,10 @@ fn clean_run_reports_disabled_degradation() {
     assert!(!base.degradation.enabled);
     assert!(base.degradation.total.is_zero());
     for stage in &base.degradation.stages {
-        assert!(stage.stats.is_zero(), "stage {} degraded without a plan", stage.stage);
+        assert!(
+            stage.stats.is_zero(),
+            "stage {} degraded without a plan",
+            stage.stage
+        );
     }
 }

@@ -51,23 +51,28 @@ fn faulted_report_is_byte_identical_across_thread_counts() {
         )
     };
     let (serial, serial_deg) = run_json(1);
-    assert!(serial_deg.total.injected() > 0, "the plan actually injected faults");
+    assert!(
+        serial_deg.total.injected() > 0,
+        "the plan actually injected faults"
+    );
     for threads in [2, 4] {
         let (json, deg) = run_json(threads);
         assert_eq!(json, serial, "{threads}-thread faulted report diverged");
-        assert_eq!(deg, serial_deg, "{threads}-thread degradation accounting diverged");
+        assert_eq!(
+            deg, serial_deg,
+            "{threads}-thread degradation accounting diverged"
+        );
     }
 }
 
 #[test]
 fn options_equivalents_match() {
-    // The builder setters and a hand-built PipelineOptions are the same.
+    // The Pipeline setters and a fluently built PipelineOptions are the
+    // same (`PipelineOptions` is `#[non_exhaustive]`, so the builder is
+    // the only way to construct one by hand).
     let via_setters = Pipeline::new(world()).threads(2).run();
     let via_options = Pipeline::new(world())
-        .options(PipelineOptions {
-            threads: 2,
-            ..PipelineOptions::default()
-        })
+        .options(PipelineOptions::default().threads(2))
         .run();
     assert_eq!(via_setters.report, via_options.report);
 }
@@ -123,7 +128,9 @@ fn timings_cover_every_stage() {
         "youtube_payments",
         "interventions",
     ] {
-        let stage = t.stage(name).unwrap_or_else(|| panic!("stage {name} timed"));
+        let stage = t
+            .stage(name)
+            .unwrap_or_else(|| panic!("stage {name} timed"));
         assert!(stage.wall_ms >= 0.0);
     }
     assert!(

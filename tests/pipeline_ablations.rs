@@ -94,7 +94,10 @@ fn co_occurrence_window_sweep_is_monotone() {
             &known,
         );
         let n = analysis.funnel.payments_co_occurring_raw;
-        assert!(n >= previous, "window {days}d lost payments: {n} < {previous}");
+        assert!(
+            n >= previous,
+            "window {days}d lost payments: {n} < {previous}"
+        );
         // "Any" payments are window-independent.
         assert_eq!(analysis.funnel.payments_any, analysis.payments.len());
         previous = n;
@@ -111,11 +114,15 @@ fn coinjoin_unaware_clustering_merges_more() {
     let w = world();
     let aware = givetake::cluster::clustering::Clustering::build_with(
         &w.chains.btc,
-        givetake::cluster::clustering::ClusteringOptions { coinjoin_aware: true },
+        givetake::cluster::clustering::ClusteringOptions {
+            coinjoin_aware: true,
+        },
     );
     let naive = givetake::cluster::clustering::Clustering::build_with(
         &w.chains.btc,
-        givetake::cluster::clustering::ClusteringOptions { coinjoin_aware: false },
+        givetake::cluster::clustering::ClusteringOptions {
+            coinjoin_aware: false,
+        },
     );
     // Our world contains no CoinJoins by default, so the counts should
     // match — the ablation still checks the plumbing end to end.

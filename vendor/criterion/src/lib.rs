@@ -52,7 +52,8 @@ impl Criterion {
         };
         f(&mut probe);
         let per_iter = probe.elapsed.max(Duration::from_nanos(1));
-        let iterations = (self.measure_target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+        let iterations =
+            (self.measure_target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
 
         let mut bencher = Bencher {
             iterations,

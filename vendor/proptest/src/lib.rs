@@ -177,7 +177,9 @@ pub mod prelude {
     pub use crate::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Derives a per-test seed from the test's name (FNV-1a), so every test
@@ -192,11 +194,8 @@ pub fn seed_for_test(name: &str) -> u64 {
 }
 
 #[doc(hidden)]
-pub fn run_proptest<F>(
-    config: test_runner::ProptestConfig,
-    name: &str,
-    mut case: F,
-) where
+pub fn run_proptest<F>(config: test_runner::ProptestConfig, name: &str, mut case: F)
+where
     F: FnMut(&mut StdRng) -> Result<(), test_runner::TestCaseError>,
 {
     use test_runner::TestCaseError;

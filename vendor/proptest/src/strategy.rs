@@ -207,7 +207,10 @@ fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char
                     Some(e) => e,
                     None => panic!("proptest regex-lite: dangling range"),
                 };
-                assert!(start <= end, "proptest regex-lite: inverted range {start}-{end}");
+                assert!(
+                    start <= end,
+                    "proptest regex-lite: inverted range {start}-{end}"
+                );
                 members.extend(start..=end);
             }
             Some(other) => {
@@ -227,7 +230,11 @@ fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<cha
             printable_ascii()
         }
         Some('d') => ('0'..='9').collect(),
-        Some('w') => ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(['_']).collect(),
+        Some('w') => ('a'..='z')
+            .chain('A'..='Z')
+            .chain('0'..='9')
+            .chain(['_'])
+            .collect(),
         Some('s') => vec![' ', '\t'],
         Some(literal) => vec![literal],
         None => panic!("proptest regex-lite: dangling escape"),

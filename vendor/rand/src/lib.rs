@@ -185,7 +185,10 @@ pub trait Rng: RngCore {
     }
 
     fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
-        assert!(numerator <= denominator, "gen_ratio: {numerator}/{denominator}");
+        assert!(
+            numerator <= denominator,
+            "gen_ratio: {numerator}/{denominator}"
+        );
         if denominator == 0 {
             return false;
         }

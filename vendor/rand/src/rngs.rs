@@ -41,7 +41,12 @@ impl SeedableRng for StdRng {
         }
         if s == [0; 4] {
             // xoshiro must not start from the all-zero state.
-            s = [0x9e37_79b9_7f4a_7c15, 0x6a09_e667_f3bc_c909, 0xbb67_ae85_84ca_a73b, 1];
+            s = [
+                0x9e37_79b9_7f4a_7c15,
+                0x6a09_e667_f3bc_c909,
+                0xbb67_ae85_84ca_a73b,
+                1,
+            ];
         }
         StdRng { s }
     }

@@ -161,7 +161,11 @@ fn map_key<K: ToString>(key: &K) -> String {
 
 impl<K: ToString + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_content(&self) -> Content {
-        Content::Map(self.iter().map(|(k, v)| (map_key(k), v.to_content())).collect())
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (map_key(k), v.to_content()))
+                .collect(),
+        )
     }
 }
 impl<'de, K: ToString + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {}

@@ -174,7 +174,10 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         let skip = c.eat_attrs();
         c.eat_visibility();
         let name = c.expect_ident();
-        assert!(c.eat_punct(':'), "serde_derive: expected `:` after field `{name}`");
+        assert!(
+            c.eat_punct(':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
         c.skip_until_comma();
         c.eat_punct(',');
         fields.push(Field { name, skip });

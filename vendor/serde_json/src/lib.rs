@@ -171,10 +171,7 @@ mod tests {
     #[test]
     fn compact_rendering() {
         let v = json!({ "a": 1u64, "b": [1u64, 2u64], "c": "x\"y" });
-        assert_eq!(
-            to_string(&v).unwrap(),
-            r#"{"a":1,"b":[1,2],"c":"x\"y"}"#
-        );
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[1,2],"c":"x\"y"}"#);
     }
 
     #[test]
