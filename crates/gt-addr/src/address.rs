@@ -4,12 +4,26 @@ use crate::base58::{decode_check, encode_check, BTC_ALPHABET};
 use crate::bech32;
 use crate::eth::EthAddress;
 use crate::xrp::XrpAddress;
+use gt_store::{StoreDecode, StoreEncode};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The cryptocurrencies whose payments the paper quantifies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Serialize,
+    Deserialize,
+    StoreEncode,
+    StoreDecode,
+)]
 pub enum Coin {
     Btc,
     Eth,
@@ -62,7 +76,20 @@ impl fmt::Display for Coin {
 }
 
 /// A Bitcoin address in one of the three deployed formats.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Serialize,
+    Deserialize,
+    StoreEncode,
+    StoreDecode,
+)]
 pub enum BtcAddress {
     /// Pay-to-pubkey-hash (`1...`).
     P2pkh([u8; 20]),
@@ -125,7 +152,20 @@ impl fmt::Display for BtcAddress {
 }
 
 /// A validated address of any supported coin.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Serialize,
+    Deserialize,
+    StoreEncode,
+    StoreDecode,
+)]
 pub enum Address {
     Btc(BtcAddress),
     Eth(EthAddress),

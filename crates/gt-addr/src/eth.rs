@@ -2,11 +2,25 @@
 
 use gt_hash::hex::{from_hex, to_hex};
 use gt_hash::keccak256;
+use gt_store::{StoreDecode, StoreEncode};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 20-byte Ethereum account address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Serialize,
+    Deserialize,
+    StoreEncode,
+    StoreDecode,
+)]
 pub struct EthAddress(pub [u8; 20]);
 
 impl EthAddress {

@@ -5,13 +5,27 @@
 //! as `r`, which is why every XRP account starts with it.
 
 use crate::base58::{decode_check, encode_check, XRP_ALPHABET};
+use gt_store::{StoreDecode, StoreEncode};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 const ACCOUNT_ID_VERSION: u8 = 0x00;
 
 /// A 20-byte XRP account id.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Serialize,
+    Deserialize,
+    StoreEncode,
+    StoreDecode,
+)]
 pub struct XrpAddress(pub [u8; 20]);
 
 impl XrpAddress {

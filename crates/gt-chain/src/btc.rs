@@ -13,25 +13,28 @@
 use crate::types::{Amount, ChainError, Transfer, TxRef};
 use gt_addr::{Address, BtcAddress, Coin};
 use gt_sim::SimTime;
+use gt_store::{StoreDecode, StoreEncode};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Reference to an output of a previous transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, StoreEncode, StoreDecode,
+)]
 pub struct OutPoint {
     pub tx_index: u64,
     pub vout: u32,
 }
 
 /// A transaction output.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct TxOut {
     pub address: BtcAddress,
     pub value: Amount,
 }
 
 /// A confirmed Bitcoin transaction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct BtcTx {
     pub index: u64,
     pub time: SimTime,
@@ -72,7 +75,7 @@ impl BtcTx {
 }
 
 /// The Bitcoin ledger simulator.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, StoreEncode, StoreDecode)]
 pub struct BtcLedger {
     txs: Vec<BtcTx>,
     /// Unspent outputs.

@@ -8,11 +8,12 @@
 use crate::types::{Amount, ChainError, Transfer, TxRef};
 use gt_addr::{Address, Coin, EthAddress};
 use gt_sim::SimTime;
+use gt_store::{StoreDecode, StoreEncode};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A confirmed Ethereum value transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct EthTx {
     pub index: u64,
     pub time: SimTime,
@@ -24,7 +25,7 @@ pub struct EthTx {
 }
 
 /// The Ethereum ledger simulator.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, StoreEncode, StoreDecode)]
 pub struct EthLedger {
     txs: Vec<EthTx>,
     balances: HashMap<EthAddress, Amount>,

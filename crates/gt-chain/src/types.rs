@@ -2,12 +2,25 @@
 
 use gt_addr::{Address, Coin};
 use gt_sim::SimTime;
+use gt_store::{StoreDecode, StoreEncode};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An amount in a coin's base units (satoshi / gwei / drops).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    Serialize,
+    Deserialize,
+    StoreEncode,
+    StoreDecode,
 )]
 pub struct Amount(pub u64);
 
@@ -45,7 +58,20 @@ impl std::iter::Sum for Amount {
 }
 
 /// A chain-qualified transaction reference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Serialize,
+    Deserialize,
+    StoreEncode,
+    StoreDecode,
+)]
 pub struct TxRef {
     pub coin: Coin,
     /// Index into that chain's transaction log.
@@ -61,7 +87,7 @@ impl fmt::Display for TxRef {
 /// A money movement as the analysis layer sees it: one recipient, one or
 /// more senders (BTC multi-input transactions have several), an amount
 /// and a timestamp.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct Transfer {
     pub tx: TxRef,
     pub senders: Vec<Address>,

@@ -9,9 +9,10 @@ use crate::eth::EthLedger;
 use crate::types::Transfer;
 use crate::xrp::XrpLedger;
 use gt_addr::Address;
+use gt_store::{StoreDecode, StoreEncode};
 
 /// The three ledgers behind one query interface.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, StoreEncode, StoreDecode)]
 pub struct ChainView {
     pub btc: BtcLedger,
     pub eth: EthLedger,

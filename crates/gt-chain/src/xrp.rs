@@ -10,6 +10,7 @@
 use crate::types::{Amount, ChainError, Transfer, TxRef};
 use gt_addr::{Address, Coin, XrpAddress};
 use gt_sim::SimTime;
+use gt_store::{StoreDecode, StoreEncode};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -17,7 +18,7 @@ use std::collections::HashMap;
 pub const PAYMENT_FEE_DROPS: u64 = 10;
 
 /// A confirmed XRP payment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct XrpPayment {
     pub index: u64,
     pub time: SimTime,
@@ -30,7 +31,7 @@ pub struct XrpPayment {
 }
 
 /// The XRP ledger simulator.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, StoreEncode, StoreDecode)]
 pub struct XrpLedger {
     payments: Vec<XrpPayment>,
     balances: HashMap<XrpAddress, Amount>,

@@ -12,10 +12,11 @@ use crate::unionfind::UnionFind;
 use crate::view::ClusterView;
 use gt_addr::BtcAddress;
 use gt_chain::BtcLedger;
+use gt_store::{StoreDecode, StoreEncode};
 use std::collections::HashMap;
 
 /// Opaque cluster identifier (stable within one `Clustering`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, StoreEncode, StoreDecode)]
 pub struct ClusterId(pub usize);
 
 /// Options controlling cluster construction.

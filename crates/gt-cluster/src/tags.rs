@@ -11,13 +11,27 @@
 use crate::clustering::{ClusterId, Clustering};
 use crate::view::ClusterView;
 use gt_addr::Address;
+use gt_store::{StoreDecode, StoreEncode};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Operator categories, matching the vocabulary of the paper's analysis
 /// (Sections 5.4–5.5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    PartialOrd,
+    Ord,
+    Serialize,
+    Deserialize,
+    StoreEncode,
+    StoreDecode,
+)]
 pub enum Category {
     /// Centralized exchange (the dominant victim payment origin).
     Exchange,
@@ -53,7 +67,7 @@ impl fmt::Display for Category {
 }
 
 /// Address → category registry with cluster propagation.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, StoreEncode, StoreDecode)]
 pub struct TagService {
     direct: HashMap<Address, Category>,
 }
@@ -130,7 +144,7 @@ impl TagService {
 ///
 /// Built once from a [`TagService`] and a [`ClusterView`]; `Sync`, so the
 /// parallel pipeline stages share one resolver by reference.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, StoreEncode, StoreDecode)]
 pub struct TagResolver {
     direct: HashMap<Address, Category>,
     cluster_tags: HashMap<ClusterId, Category>,

@@ -20,11 +20,12 @@ use crate::coinjoin::looks_like_coinjoin;
 use crate::unionfind::UnionFind;
 use gt_addr::BtcAddress;
 use gt_chain::{BtcLedger, BtcTx};
+use gt_store::{StoreDecode, StoreEncode};
 use std::collections::HashMap;
 
 /// Frozen multi-input clustering: immutable, `Sync`, shared by reference
 /// across analysis stages.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, StoreEncode, StoreDecode)]
 pub struct ClusterView {
     /// Address → dense address index, in first-appearance order.
     pub(crate) indices: HashMap<BtcAddress, usize>,

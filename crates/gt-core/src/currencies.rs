@@ -2,6 +2,7 @@
 
 use crate::datasets::{TwitterDataset, YouTubeDataset};
 use gt_social::TwitterSnapshot;
+use gt_store::{StoreDecode, StoreEncode};
 use gt_stream::monitor::MonitorReport;
 use gt_text::KeywordSet;
 use serde::{Deserialize, Serialize};
@@ -16,7 +17,7 @@ const COIN_TAGS: [(&str, &[&str]); 3] = [
 
 /// Per-coin reference rates among lures. Rates can sum past 1.0 since a
 /// lure can reference several coins.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct CoinRates {
     pub lures: usize,
     /// (coin name, fraction of lures referencing it), sorted descending.

@@ -4,6 +4,7 @@ use crate::validate::{validate_annotated_addresses, validate_page, ValidatedSite
 use gt_addr::Address;
 use gt_sim::SimTime;
 use gt_social::{LiveStreamId, TweetId, TwitterAccountId, TwitterSnapshot};
+use gt_store::{StoreDecode, StoreEncode};
 use gt_stream::keywords::SearchKeywords;
 use gt_stream::monitor::MonitorReport;
 use gt_web::Url;
@@ -12,7 +13,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// One Twitter scam domain with its promoting tweets and annotated
 /// addresses.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, StoreEncode, StoreDecode)]
 pub struct TwitterDomain {
     pub domain: String,
     pub tweets: Vec<TweetId>,
@@ -22,7 +23,7 @@ pub struct TwitterDomain {
 }
 
 /// The assembled Twitter dataset.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, StoreEncode, StoreDecode)]
 pub struct TwitterDataset {
     pub domains: Vec<TwitterDomain>,
     pub accounts: BTreeSet<TwitterAccountId>,
@@ -75,7 +76,7 @@ pub fn build_twitter_dataset(
 }
 
 /// One YouTube scam domain with the streams that promoted it.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, StoreEncode, StoreDecode)]
 pub struct YouTubeDomain {
     pub domain: String,
     pub validation: ValidatedSite,
@@ -85,7 +86,7 @@ pub struct YouTubeDomain {
 }
 
 /// The assembled YouTube dataset.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, StoreEncode, StoreDecode)]
 pub struct YouTubeDataset {
     pub domains: Vec<YouTubeDomain>,
     /// Scam streams (those that promoted a validated domain).
@@ -166,7 +167,7 @@ pub fn build_youtube_dataset(report: &MonitorReport, keywords: &SearchKeywords) 
 }
 
 /// The Table 1 summary for both platforms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct Table1 {
     pub twitter_domains: usize,
     pub twitter_accounts: usize,

@@ -2,13 +2,14 @@
 
 use crate::datasets::{TwitterDataset, YouTubeDataset};
 use gt_social::TwitterSnapshot;
+use gt_store::{StoreDecode, StoreEncode};
 use gt_stream::keywords::SearchKeywords;
 use gt_stream::monitor::MonitorReport;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Twitter tactics: how scam tweets reach audiences.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct TwitterDiscoverability {
     pub tweets: usize,
     /// Fraction carrying at least one hashtag.
@@ -53,7 +54,7 @@ pub fn twitter_discoverability(
 }
 
 /// YouTube audience statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct YouTubeDiscoverability {
     pub streams: usize,
     /// Median subscribers across scam-hosting channels.

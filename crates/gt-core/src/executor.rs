@@ -12,16 +12,34 @@
 //! test (`tests/determinism.rs`) pins this down.
 
 use gt_obs::MetricsRegistry;
+use gt_store::{digest, Digest, KeyBuilder, RunStore, StoreDecode, StoreEncode};
 use serde::Serialize;
 use std::any::Any;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 type BoxedAny = Box<dyn Any + Send + Sync>;
 type StageFn<'env> = Box<dyn FnOnce(&StageResults) -> (BoxedAny, u64) + Send + 'env>;
+type EncodeFn = Box<dyn Fn(&BoxedAny, u64) -> Vec<u8> + Send + Sync>;
+type DecodeFn = Box<dyn Fn(&[u8]) -> Option<(BoxedAny, u64)> + Send + Sync>;
+
+/// Type-erased (encode, decode) pair for one cacheable stage's
+/// `(items, payload)` record. Decode failures surface as `None` and
+/// decay to a recompute — never an error.
+struct StageCodec {
+    encode: EncodeFn,
+    decode: DecodeFn,
+}
+
+/// A [`RunStore`] plus the run's base fingerprint, bound to a graph via
+/// [`StageGraph::bind_store`].
+struct StoreBinding {
+    store: Arc<RunStore>,
+    base: Digest,
+}
 
 /// Wall time and item count for one completed stage.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -100,17 +118,36 @@ struct Stage<'env> {
     name: String,
     deps: Vec<usize>,
     run: Mutex<Option<StageFn<'env>>>,
+    /// Present for stages registered through `add_cached_stage*`;
+    /// ignored unless a store is bound.
+    codec: Option<StageCodec>,
+    /// Extra stage-local key material (e.g. the intervention lags) that
+    /// the stage body reads but that is not part of the run-wide base
+    /// fingerprint or any dependency output.
+    salt: Vec<u8>,
 }
 
 /// The stage graph under construction.
 #[derive(Default)]
 pub struct StageGraph<'env> {
     stages: Vec<Stage<'env>>,
+    store: Option<StoreBinding>,
 }
 
 impl<'env> StageGraph<'env> {
     pub fn new() -> Self {
-        StageGraph { stages: Vec::new() }
+        StageGraph {
+            stages: Vec::new(),
+            store: None,
+        }
+    }
+
+    /// Attach a stage-result store. `base` must fingerprint everything
+    /// run-global that stage outputs depend on (world config, fault
+    /// plan, retry policy, ...) — and deliberately *not* the thread
+    /// count, so runs at different parallelism share entries.
+    pub fn bind_store(&mut self, store: Arc<RunStore>, base: Digest) {
+        self.store = Some(StoreBinding { store, base });
     }
 
     /// Register a stage. `deps` are indices of previously registered
@@ -131,6 +168,69 @@ impl<'env> StageGraph<'env> {
         T: Send + Sync + 'static,
         F: FnOnce(&StageResults) -> (T, u64) + Send + 'env,
     {
+        self.push_stage(name, deps, f, None, Vec::new())
+    }
+
+    /// [`StageGraph::add_stage`] for a stage whose output can be cached
+    /// in a bound [`RunStore`]. `salt` is stage-local key material: any
+    /// parameter the body reads that is neither in the run's base
+    /// fingerprint nor in a dependency's output (pass `&[]` when there
+    /// is none). Without a bound store this is exactly `add_stage`.
+    pub fn add_cached_stage<T, F>(
+        &mut self,
+        name: &str,
+        salt: &[u8],
+        deps: &[usize],
+        f: F,
+    ) -> StageId<T>
+    where
+        T: StoreEncode + StoreDecode + Send + Sync + 'static,
+        F: FnOnce(&StageResults) -> T + Send + 'env,
+    {
+        self.add_cached_stage_with_items(name, salt, deps, move |r| (f(r), 0))
+    }
+
+    /// [`StageGraph::add_cached_stage`] for stages that also report an
+    /// item count (persisted alongside the payload, so a cache hit
+    /// restores it too).
+    pub fn add_cached_stage_with_items<T, F>(
+        &mut self,
+        name: &str,
+        salt: &[u8],
+        deps: &[usize],
+        f: F,
+    ) -> StageId<T>
+    where
+        T: StoreEncode + StoreDecode + Send + Sync + 'static,
+        F: FnOnce(&StageResults) -> (T, u64) + Send + 'env,
+    {
+        let codec = StageCodec {
+            encode: Box::new(|any, items| {
+                let value = any
+                    .downcast_ref::<T>()
+                    .expect("stage output type mismatch in store codec");
+                gt_store::encode_to_vec(&(items, value))
+            }),
+            decode: Box::new(|bytes| {
+                let (items, value): (u64, T) = gt_store::decode_from_slice(bytes).ok()?;
+                Some((Box::new(value) as BoxedAny, items))
+            }),
+        };
+        self.push_stage(name, deps, f, Some(codec), salt.to_vec())
+    }
+
+    fn push_stage<T, F>(
+        &mut self,
+        name: &str,
+        deps: &[usize],
+        f: F,
+        codec: Option<StageCodec>,
+        salt: Vec<u8>,
+    ) -> StageId<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce(&StageResults) -> (T, u64) + Send + 'env,
+    {
         let index = self.stages.len();
         for &d in deps {
             assert!(d < index, "stage {name:?} depends on a later stage");
@@ -142,6 +242,8 @@ impl<'env> StageGraph<'env> {
                 let (value, items) = f(r);
                 (Box::new(value) as BoxedAny, items)
             }))),
+            codec,
+            salt,
         });
         StageId {
             index,
@@ -183,6 +285,11 @@ impl<'env> StageGraph<'env> {
 
         let slots: Vec<OnceLock<BoxedAny>> = (0..n).map(|_| OnceLock::new()).collect();
         let timings: Vec<OnceLock<StageTiming>> = (0..n).map(|_| OnceLock::new()).collect();
+        // Content digests of cached stage payloads, set as each stage
+        // completes (from the cached record on a hit, from the freshly
+        // encoded payload on a miss) — dependents fold them into their
+        // own keys.
+        let digests: Vec<OnceLock<Digest>> = (0..n).map(|_| OnceLock::new()).collect();
         let sched = Mutex::new(Sched {
             indegree,
             ready,
@@ -191,6 +298,7 @@ impl<'env> StageGraph<'env> {
         let wake = Condvar::new();
         let poison: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
         let stages = &self.stages;
+        let store = self.store.as_ref();
 
         if threads <= 1 || n <= 1 {
             run_worker(
@@ -198,6 +306,8 @@ impl<'env> StageGraph<'env> {
                 &dependents,
                 &slots,
                 &timings,
+                &digests,
+                store,
                 &sched,
                 &wake,
                 &poison,
@@ -212,6 +322,8 @@ impl<'env> StageGraph<'env> {
                             &dependents,
                             &slots,
                             &timings,
+                            &digests,
+                            store,
                             &sched,
                             &wake,
                             &poison,
@@ -252,12 +364,32 @@ struct Sched {
     remaining: usize,
 }
 
+/// The cache key for one stage, or `None` when any dependency has no
+/// recorded digest (it was registered without a codec), which makes the
+/// stage itself uncacheable.
+fn stage_key(
+    binding: &StoreBinding,
+    stage: &Stage<'_>,
+    digests: &[OnceLock<Digest>],
+) -> Option<Digest> {
+    let mut kb = KeyBuilder::new("stage");
+    kb.push_digest(&binding.base);
+    kb.push_str(&stage.name);
+    kb.push_bytes(&stage.salt);
+    for &d in &stage.deps {
+        kb.push_digest(digests[d].get()?);
+    }
+    Some(kb.finish())
+}
+
 #[allow(clippy::too_many_arguments)] // internal worker-loop plumbing
 fn run_worker(
     stages: &[Stage<'_>],
     dependents: &[Vec<usize>],
     slots: &[OnceLock<BoxedAny>],
     timings: &[OnceLock<StageTiming>],
+    digests: &[OnceLock<Digest>],
+    store: Option<&StoreBinding>,
     sched: &Mutex<Sched>,
     wake: &Condvar,
     poison: &Mutex<Option<Box<dyn Any + Send>>>,
@@ -277,7 +409,8 @@ fn run_worker(
             }
         };
 
-        let body = stages[next]
+        let stage = &stages[next];
+        let body = stage
             .run
             .lock()
             .unwrap()
@@ -285,8 +418,42 @@ fn run_worker(
             .expect("stage scheduled twice");
         let results = StageResults { slots };
         let start = Instant::now();
-        let span = obs.span(&stages[next].name, "stage");
-        let outcome = catch_unwind(AssertUnwindSafe(|| body(&results)));
+        let span = obs.span(&stage.name, "stage");
+        // The store probe, the stage body, and the persist all run
+        // inside the same catch_unwind: a panic in any of them (the
+        // store's simulated-crash hook included) must poison the run
+        // rather than deadlock the other workers on the condvar.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let cache = store.and_then(|binding| {
+                stage.codec.as_ref().and_then(|codec| {
+                    stage_key(binding, stage, digests).map(|key| (binding, codec, key))
+                })
+            });
+            let Some((binding, codec, key)) = cache else {
+                return body(&results);
+            };
+            if let Some(payload) = binding.store.load_stage(&binding.base, &stage.name, &key) {
+                if let Some((value, items)) = (codec.decode)(&payload) {
+                    obs.counter_add(&stage.name, "store", "cache_hit", 1);
+                    let _ = digests[next].set(digest(&payload));
+                    return (value, items);
+                }
+            }
+            let (value, items) = body(&results);
+            let payload = (codec.encode)(&value, items);
+            let _ = digests[next].set(digest(&payload));
+            obs.counter_add(&stage.name, "store", "cache_miss", 1);
+            if binding
+                .store
+                .store_stage(&binding.base, &stage.name, &key, &payload)
+                .is_err()
+            {
+                // A failed write never fails the run; the stage output
+                // is in hand and the entry will be recomputed next time.
+                obs.counter_add(&stage.name, "store", "write_error", 1);
+            }
+            (value, items)
+        }));
         drop(span);
         let (value, items) = match outcome {
             Ok(output) => output,

@@ -7,12 +7,13 @@
 //! (non-ASCII-dominant titles stand in for the paper's manual language
 //! inspection).
 
+use gt_store::{StoreDecode, StoreEncode};
 use gt_stream::keywords::SearchKeywords;
 use gt_stream::monitor::MonitorReport;
 use serde::{Deserialize, Serialize};
 
 /// The Figure 5 data.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct KeywordContribution {
     /// Streams the search returned.
     pub streams: usize,

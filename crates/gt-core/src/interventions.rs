@@ -14,11 +14,12 @@ use crate::payments::PaymentAnalysis;
 use gt_addr::Address;
 use gt_cluster::{Category, ClusterView, TagResolver};
 use gt_sim::{SimDuration, SimTime};
+use gt_store::{StoreDecode, StoreEncode};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Outcome of one intervention configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct InterventionOutcome {
     /// Detection lag applied (seconds after an address's first observed
     /// payment that exchanges begin blocking).

@@ -28,13 +28,15 @@ use gt_cluster::{ClusterView, ClusteringOptions, TagResolver};
 use gt_obs::{MetricsRegistry, TelemetrySnapshot};
 use gt_sim::faults::{ChaosProfile, DegradationStats, FaultPlan, RetryPolicy};
 use gt_sim::SimDuration;
+use gt_store::{Digest, KeyBuilder, RunStore, StoreDecode, StoreEncode};
 use gt_stream::keywords::search_keyword_set;
 use gt_stream::monitor::{Monitor, MonitorConfig, MonitorReport};
 use gt_stream::pilot::{qr_persistence, qr_stats};
 use gt_stream::twitch::run_twitch_pilot_observed;
-use gt_world::World;
+use gt_world::{World, WorldConfig};
 use serde::Serialize;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Tuning knobs for a pipeline run.
 ///
@@ -70,6 +72,12 @@ pub struct PipelineOptions {
     /// [`PaperRun::telemetry`] (on by default; cheap enough for
     /// every run — see the gt-bench overhead guard).
     pub telemetry: bool,
+    /// Stage-result store: every stage probes it before computing and
+    /// persists its output after. `None` (the default) computes
+    /// everything in-process. The report is byte-identical either way —
+    /// the store only changes *whether* a stage runs, never what it
+    /// yields.
+    pub store: Option<Arc<RunStore>>,
 }
 
 impl Default for PipelineOptions {
@@ -90,6 +98,7 @@ impl Default for PipelineOptions {
             chaos: None,
             retry: RetryPolicy::default(),
             telemetry: true,
+            store: None,
         }
     }
 }
@@ -144,6 +153,44 @@ impl PipelineOptions {
         self.telemetry = enabled;
         self
     }
+
+    /// Attach (or clear) a stage-result store.
+    pub fn store(mut self, store: Option<Arc<RunStore>>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// The run's base cache fingerprint for a given world config: a
+    /// digest over everything run-global that stage outputs can depend
+    /// on — the config, the *resolved* fault plan, the retry policy,
+    /// and the telemetry flag (telemetry changes the degradation
+    /// accounting embedded in cached payloads). The thread count is
+    /// deliberately absent: results are thread-invariant, so runs at
+    /// different parallelism share cache entries.
+    pub fn base_fingerprint(&self, config: &WorldConfig) -> Digest {
+        let plan = self.resolve_fault_plan(config);
+        let mut kb = KeyBuilder::new("base");
+        kb.push_encoded(config);
+        kb.push_encoded(&plan);
+        kb.push_encoded(&self.retry);
+        kb.push_bytes(&[self.telemetry as u8]);
+        kb.finish()
+    }
+
+    /// The fault plan the run will actually use: an explicit plan wins;
+    /// otherwise a chaos request generates one over the measurement
+    /// span, extended past the end of collection so the RPC backfill
+    /// reads (whose virtual cursor starts at `youtube_end`) have a
+    /// fault surface too.
+    fn resolve_fault_plan(&self, config: &WorldConfig) -> Option<FaultPlan> {
+        self.fault_plan.clone().or_else(|| {
+            self.chaos.as_ref().map(|(seed, profile)| {
+                let span_start = config.twitter_start.min(config.pilot_start);
+                let span_end = config.twitter_end.max(config.youtube_end) + SimDuration::days(14);
+                FaultPlan::generate(*seed, span_start, span_end, profile)
+            })
+        })
+    }
 }
 
 /// One stage's injected-fault accounting.
@@ -175,7 +222,7 @@ impl DegradationReport {
 }
 
 /// The frozen blockchain analysis shared (by reference) across stages.
-#[derive(Debug)]
+#[derive(Debug, StoreEncode, StoreDecode)]
 pub struct ChainAnalysis {
     pub view: ClusterView,
     pub resolver: TagResolver,
@@ -272,6 +319,12 @@ impl<'w> Pipeline<'w> {
         self
     }
 
+    /// Attach (or clear) a stage-result store.
+    pub fn store(mut self, store: Option<Arc<RunStore>>) -> Self {
+        self.options = self.options.store(store);
+        self
+    }
+
     /// Run the full pipeline.
     pub fn run(&self) -> PaperRun {
         let world = self.world;
@@ -286,17 +339,7 @@ impl<'w> Pipeline<'w> {
         let skip_pilot = self.options.skip_pilot;
         let skip_interventions = self.options.skip_interventions;
         let lags = self.options.intervention_lags.clone();
-        // An explicit plan wins; otherwise a chaos request generates
-        // one over the measurement span, extended past the end of
-        // collection so the RPC backfill reads (whose virtual cursor
-        // starts at `youtube_end`) have a fault surface too.
-        let plan = self.options.fault_plan.clone().or_else(|| {
-            self.options.chaos.as_ref().map(|(seed, profile)| {
-                let span_start = config.twitter_start.min(config.pilot_start);
-                let span_end = config.twitter_end.max(config.youtube_end) + SimDuration::days(14);
-                FaultPlan::generate(*seed, span_start, span_end, profile)
-            })
-        });
+        let plan = self.options.resolve_fault_plan(config);
         let retry = self.options.retry;
         let obs = if self.options.telemetry {
             MetricsRegistry::new()
@@ -307,9 +350,13 @@ impl<'w> Pipeline<'w> {
         let rpc_epoch = config.youtube_end;
 
         let mut g = StageGraph::new();
+        if let Some(store) = self.options.store.clone() {
+            let base = self.options.base_fingerprint(config);
+            g.bind_store(store, base);
+        }
 
         // ---- independent roots: datasets, monitors, chain analysis ----
-        let twitter_ds = g.add_stage_with_items("twitter_dataset", &[], move |_| {
+        let twitter_ds = g.add_cached_stage_with_items("twitter_dataset", &[], &[], move |_| {
             let ds = build_twitter_dataset(&world.twitter, &world.scam_db);
             let domains = ds.domains.len() as u64;
             (ds, domains)
@@ -317,23 +364,24 @@ impl<'w> Pipeline<'w> {
 
         let pilot_plan = plan.clone();
         let pilot_sink = obs.sink("pilot_monitor");
-        let pilot = g.add_stage_with_items("pilot_monitor", &[], move |_| {
-            if skip_pilot {
-                return (MonitorReport::default(), 0);
-            }
-            let mut cfg = MonitorConfig::paper(config.pilot_start, config.pilot_end);
-            cfg.fault_plan = pilot_plan.clone();
-            cfg.retry = retry;
-            cfg.sink = pilot_sink;
-            let monitor = Monitor::new(cfg, search_keyword_set());
-            let report = monitor.run(&world.youtube, &world.web);
-            let streams = report.streams.len() as u64;
-            (report, streams)
-        });
+        let pilot =
+            g.add_cached_stage_with_items("pilot_monitor", &[skip_pilot as u8], &[], move |_| {
+                if skip_pilot {
+                    return (MonitorReport::default(), 0);
+                }
+                let mut cfg = MonitorConfig::paper(config.pilot_start, config.pilot_end);
+                cfg.fault_plan = pilot_plan.clone();
+                cfg.retry = retry;
+                cfg.sink = pilot_sink;
+                let monitor = Monitor::new(cfg, search_keyword_set());
+                let report = monitor.run(&world.youtube, &world.web);
+                let streams = report.streams.len() as u64;
+                (report, streams)
+            });
 
         let monitor_plan = plan.clone();
         let monitor_sink = obs.sink("main_monitor");
-        let main_monitor = g.add_stage_with_items("main_monitor", &[], move |_| {
+        let main_monitor = g.add_cached_stage_with_items("main_monitor", &[], &[], move |_| {
             let mut cfg = MonitorConfig::paper(config.youtube_start, config.youtube_end);
             cfg.fault_plan = monitor_plan.clone();
             cfg.retry = retry;
@@ -345,7 +393,7 @@ impl<'w> Pipeline<'w> {
         });
 
         let chain_sink = obs.sink("chain_analysis");
-        let chain = g.add_stage_with_items("chain_analysis", &[], move |_| {
+        let chain = g.add_cached_stage_with_items("chain_analysis", &[], &[], move |_| {
             let view = {
                 let _span = chain_sink.span("cluster.build");
                 ClusterView::build_par(&world.chains.btc, ClusteringOptions::default(), threads)
@@ -362,7 +410,7 @@ impl<'w> Pipeline<'w> {
 
         let twitch_plan = plan.clone();
         let twitch_sink = obs.sink("twitch_pilot");
-        let twitch = g.add_stage("twitch_pilot", &[], move |_| {
+        let twitch = g.add_cached_stage("twitch_pilot", &[], &[], move |_| {
             run_twitch_pilot_observed(
                 &world.twitch,
                 config.pilot_start,
@@ -374,15 +422,20 @@ impl<'w> Pipeline<'w> {
         });
 
         // ---- dataset assembly and the known-scam address set ----
-        let youtube_ds =
-            g.add_stage_with_items("youtube_dataset", &[main_monitor.index()], move |r| {
+        let youtube_ds = g.add_cached_stage_with_items(
+            "youtube_dataset",
+            &[],
+            &[main_monitor.index()],
+            move |r| {
                 let ds = build_youtube_dataset(r.get(main_monitor), &search_keyword_set());
                 let domains = ds.domains.len() as u64;
                 (ds, domains)
-            });
+            },
+        );
 
-        let known_scam = g.add_stage(
+        let known_scam = g.add_cached_stage(
             "known_scam_addresses",
+            &[],
             &[twitter_ds.index(), youtube_ds.index()],
             move |r| {
                 let mut known: HashSet<Address> = HashSet::new();
@@ -399,8 +452,9 @@ impl<'w> Pipeline<'w> {
         // ---- per-platform payment isolation (Sections 5.1–5.3) ----
         let twitter_plan = plan.clone();
         let twitter_sink = obs.sink("twitter_payments");
-        let twitter_an = g.add_stage_with_items(
+        let twitter_an = g.add_cached_stage_with_items(
             "twitter_payments",
+            &[],
             &[twitter_ds.index(), chain.index(), known_scam.index()],
             move |r| {
                 let ca = r.get(chain);
@@ -444,8 +498,9 @@ impl<'w> Pipeline<'w> {
 
         let youtube_plan = plan.clone();
         let youtube_sink = obs.sink("youtube_payments");
-        let youtube_an = g.add_stage_with_items(
+        let youtube_an = g.add_cached_stage_with_items(
             "youtube_payments",
+            &[],
             &[youtube_ds.index(), chain.index(), known_scam.index()],
             move |r| {
                 let ca = r.get(chain);
@@ -484,19 +539,21 @@ impl<'w> Pipeline<'w> {
         );
 
         // ---- Section 4: lures ----
-        let twitter_weekly = g.add_stage("twitter_weekly", &[twitter_ds.index()], move |r| {
-            WeeklySeries::build(
-                config.twitter_start,
-                config.twitter_end,
-                r.get(twitter_ds)
-                    .domains
-                    .iter()
-                    .flat_map(|d| d.tweet_times.iter().map(|&t| (t, 0u64))),
-            )
-        });
+        let twitter_weekly =
+            g.add_cached_stage("twitter_weekly", &[], &[twitter_ds.index()], move |r| {
+                WeeklySeries::build(
+                    config.twitter_start,
+                    config.twitter_end,
+                    r.get(twitter_ds)
+                        .domains
+                        .iter()
+                        .flat_map(|d| d.tweet_times.iter().map(|&t| (t, 0u64))),
+                )
+            });
 
-        let youtube_weekly = g.add_stage(
+        let youtube_weekly = g.add_cached_stage(
             "youtube_weekly",
+            &[],
             &[youtube_ds.index(), main_monitor.index()],
             move |r| {
                 let observed: HashMap<_, _> = r
@@ -517,11 +574,13 @@ impl<'w> Pipeline<'w> {
             },
         );
 
-        let twitter_discover = g.add_stage("twitter_discover", &[twitter_ds.index()], move |r| {
-            discover::twitter_discoverability(r.get(twitter_ds), &world.twitter)
-        });
-        let youtube_discover = g.add_stage(
+        let twitter_discover =
+            g.add_cached_stage("twitter_discover", &[], &[twitter_ds.index()], move |r| {
+                discover::twitter_discoverability(r.get(twitter_ds), &world.twitter)
+            });
+        let youtube_discover = g.add_cached_stage(
             "youtube_discover",
+            &[],
             &[youtube_ds.index(), main_monitor.index()],
             move |r| {
                 discover::youtube_discoverability(
@@ -531,23 +590,27 @@ impl<'w> Pipeline<'w> {
                 )
             },
         );
-        let twitter_coins = g.add_stage("twitter_coins", &[twitter_ds.index()], move |r| {
-            currencies::twitter_coin_rates(r.get(twitter_ds), &world.twitter)
-        });
-        let youtube_coins = g.add_stage(
+        let twitter_coins =
+            g.add_cached_stage("twitter_coins", &[], &[twitter_ds.index()], move |r| {
+                currencies::twitter_coin_rates(r.get(twitter_ds), &world.twitter)
+            });
+        let youtube_coins = g.add_cached_stage(
             "youtube_coins",
+            &[],
             &[youtube_ds.index(), main_monitor.index()],
             move |r| currencies::youtube_coin_rates(r.get(youtube_ds), r.get(main_monitor)),
         );
 
         // ---- Section 5.4: victims ----
-        let twitter_conversions = g.add_stage(
+        let twitter_conversions = g.add_cached_stage(
             "twitter_conversions",
+            &[],
             &[twitter_an.index(), twitter_ds.index()],
             move |r| victims::conversions(r.get(twitter_an), r.get(twitter_ds).tweet_count as u64),
         );
-        let youtube_conversions = g.add_stage(
+        let youtube_conversions = g.add_cached_stage(
             "youtube_conversions",
+            &[],
             &[youtube_an.index(), youtube_ds.index(), main_monitor.index()],
             move |r| {
                 let observed: HashMap<_, _> = r
@@ -565,8 +628,9 @@ impl<'w> Pipeline<'w> {
                 victims::conversions(r.get(youtube_an), total_views)
             },
         );
-        let origins = g.add_stage(
+        let origins = g.add_cached_stage(
             "payment_origins",
+            &[],
             &[twitter_an.index(), youtube_an.index(), chain.index()],
             move |r| {
                 let ca = r.get(chain);
@@ -577,16 +641,19 @@ impl<'w> Pipeline<'w> {
                 )
             },
         );
-        let twitter_whales = g.add_stage("twitter_whales", &[twitter_an.index()], move |r| {
-            victims::whale_distribution(r.get(twitter_an))
-        });
-        let youtube_whales = g.add_stage("youtube_whales", &[youtube_an.index()], move |r| {
-            victims::whale_distribution(r.get(youtube_an))
-        });
+        let twitter_whales =
+            g.add_cached_stage("twitter_whales", &[], &[twitter_an.index()], move |r| {
+                victims::whale_distribution(r.get(twitter_an))
+            });
+        let youtube_whales =
+            g.add_cached_stage("youtube_whales", &[], &[youtube_an.index()], move |r| {
+                victims::whale_distribution(r.get(youtube_an))
+            });
 
         // ---- Section 5.5: scammers ----
-        let recipients = g.add_stage(
+        let recipients = g.add_cached_stage(
             "recipient_stats",
+            &[],
             &[twitter_an.index(), youtube_an.index(), chain.index()],
             move |r| {
                 scammers::recipient_stats(
@@ -597,8 +664,9 @@ impl<'w> Pipeline<'w> {
         );
         let outgoing_plan = plan.clone();
         let outgoing_sink = obs.sink("outgoing_stats");
-        let outgoing = g.add_stage(
+        let outgoing = g.add_cached_stage(
             "outgoing_stats",
+            &[],
             &[twitter_an.index(), youtube_an.index(), chain.index()],
             move |r| {
                 let ca = r.get(chain);
@@ -623,7 +691,7 @@ impl<'w> Pipeline<'w> {
         );
 
         // ---- Appendix B ----
-        let qr_pilot = g.add_stage("qr_pilot", &[pilot.index()], move |r| {
+        let qr_pilot = g.add_cached_stage("qr_pilot", &[], &[pilot.index()], move |r| {
             let persistences = qr_persistence(r.get(pilot), SimDuration::seconds(450));
             qr_stats(&persistences).map(|s| QrPilotSummary {
                 tracked: s.tracked,
@@ -632,13 +700,18 @@ impl<'w> Pipeline<'w> {
                 intermittent: s.intermittent,
             })
         });
-        let fig5 = g.add_stage("fig5_keywords", &[pilot.index()], move |r| {
+        let fig5 = g.add_cached_stage("fig5_keywords", &[], &[pilot.index()], move |r| {
             fig5::keyword_contribution(r.get(pilot), &search_keyword_set())
         });
 
         // ---- Section 6.2 extension: exchange-side intervention sweep ----
-        let interventions = g.add_stage_with_items(
+        // The sweep's knobs are stage-local (not in the base
+        // fingerprint, not visible in any dependency output), so they
+        // go into the stage salt.
+        let interventions_salt = gt_store::encode_to_vec(&(skip_interventions, &lags));
+        let interventions = g.add_cached_stage_with_items(
             "interventions",
+            &interventions_salt,
             &[twitter_an.index(), youtube_an.index(), chain.index()],
             move |r| {
                 if skip_interventions {

@@ -8,11 +8,12 @@ use crate::payments::{PaymentFunnel, RevenueRow};
 use crate::scammers::{OutgoingStats, RecipientStats};
 use crate::timeline::WeeklySeries;
 use crate::victims::{Conversions, PaymentOrigins, WhaleDistribution};
+use gt_store::{StoreDecode, StoreEncode};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// QR pilot summary (Appendix B).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct QrPilotSummary {
     pub tracked: usize,
     pub mean_seconds: f64,
@@ -21,7 +22,7 @@ pub struct QrPilotSummary {
 }
 
 /// Twitch pilot summary (Appendix B.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct TwitchSummary {
     pub streams_listed: usize,
     pub candidates: usize,

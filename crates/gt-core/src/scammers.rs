@@ -5,11 +5,12 @@ use crate::payments::PaymentAnalysis;
 use gt_addr::Address;
 use gt_chain::ChainReads;
 use gt_cluster::{Category, ClusterView, TagResolver};
+use gt_store::{StoreDecode, StoreEncode};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
 
 /// Recipient-address statistics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct RecipientStats {
     /// Distinct recipient addresses of final victim payments.
     pub recipients: usize,
@@ -54,7 +55,7 @@ pub fn distinct_recipients(analysis: &PaymentAnalysis) -> usize {
 }
 
 /// Where outgoing transfers from scam addresses go.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct OutgoingStats {
     /// Distinct recipients of outgoing transfers.
     pub recipients: usize,

@@ -1,10 +1,11 @@
 //! Weekly lure-volume series (Figures 3 and 4).
 
 use gt_sim::SimTime;
+use gt_store::{StoreDecode, StoreEncode};
 use serde::{Deserialize, Serialize};
 
 /// One week's activity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct WeekBucket {
     /// Week index from the window start (week 0 starts at the window
     /// start instant).
@@ -18,7 +19,7 @@ pub struct WeekBucket {
 }
 
 /// A weekly series over a window.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct WeeklySeries {
     pub window_start: SimTime,
     pub buckets: Vec<WeekBucket>,

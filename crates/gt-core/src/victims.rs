@@ -4,11 +4,12 @@
 use crate::payments::PaymentAnalysis;
 use gt_addr::Address;
 use gt_cluster::{Category, ClusterView, TagResolver};
+use gt_store::{StoreDecode, StoreEncode};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Conversion-rate figures.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct Conversions {
     pub unique_senders: usize,
     /// Lure denominator (tweets for Twitter, views for YouTube).
@@ -32,7 +33,7 @@ pub fn conversions(analysis: &PaymentAnalysis, denominator: u64) -> Conversions 
 }
 
 /// Payment-origin breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct PaymentOrigins {
     pub payments: usize,
     pub from_exchange: usize,
@@ -70,7 +71,7 @@ pub fn payment_origins(
 
 /// The whale distribution: how many top payments carry 50% / 90% of
 /// the revenue.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct WhaleDistribution {
     pub payments: usize,
     pub total_usd: f64,

@@ -3,6 +3,7 @@
 use crate::anchors::anchors_for;
 use gt_addr::Coin;
 use gt_sim::{CivilDate, RngFactory, SimTime};
+use gt_store::{StoreDecode, StoreEncode};
 use std::collections::HashMap;
 
 /// Deterministic daily USD prices for the supported coins.
@@ -11,7 +12,7 @@ use std::collections::HashMap;
 /// a seeded ±few-percent daily factor so two consecutive days never share
 /// an identical price (matching the day-resolution normalisation the
 /// paper performs).
-#[derive(Debug)]
+#[derive(Debug, StoreEncode, StoreDecode)]
 pub struct PriceOracle {
     /// coin → (first day number, daily prices).
     series: HashMap<Coin, (i64, Vec<f64>)>,

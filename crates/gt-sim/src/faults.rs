@@ -33,13 +33,27 @@
 use crate::rng::RngFactory;
 use crate::time::{SimDuration, SimTime};
 use gt_obs::{MetricSheet, StageSink, BACKOFF_BUCKET_EDGES};
+use gt_store::{StoreDecode, StoreEncode};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A simulated service surface that can fail independently.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Serialize,
+    Deserialize,
+    StoreEncode,
+    StoreDecode,
+)]
 pub enum Substrate {
     /// YouTube live-search endpoint (`search.list`).
     YoutubeSearch,
@@ -106,7 +120,7 @@ impl std::fmt::Display for Substrate {
 }
 
 /// What kind of failure a window injects.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub enum FaultKind {
     /// Short-lived error; a backoff retry inside the window may still
     /// land inside it, but retries eventually escape.
@@ -124,7 +138,7 @@ pub enum FaultKind {
 }
 
 /// One scheduled fault interval `[start, end)` on a substrate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct FaultWindow {
     pub start: SimTime,
     pub end: SimTime,
@@ -195,7 +209,7 @@ impl ChaosProfile {
 }
 
 /// A seeded, deterministic schedule of faults for every substrate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct FaultPlan {
     pub seed: u64,
     /// Sorted, non-overlapping windows per substrate.
@@ -323,7 +337,7 @@ impl FaultPlan {
 
 /// Shared retry/backoff policy: exponential backoff with jitter, capped
 /// per attempt and bounded by a cumulative per-call budget.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct RetryPolicy {
     /// Maximum attempts per call (1 = no retries).
     pub max_attempts: u32,
@@ -414,7 +428,9 @@ impl CircuitBreaker {
 }
 
 /// Counts of injected faults and how the consumer fared against them.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize, StoreEncode, StoreDecode,
+)]
 pub struct DegradationStats {
     /// Transient-window hits (one per failed attempt).
     pub transients: u64,

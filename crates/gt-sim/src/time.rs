@@ -4,19 +4,44 @@
 //! `i64`. Calendar conversions use Howard Hinnant's `days_from_civil`
 //! algorithm, which is exact over the entire `i64` day range we care about.
 
+use gt_store::{StoreDecode, StoreEncode};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 /// A point in simulated time: UTC seconds since the Unix epoch.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    Serialize,
+    Deserialize,
+    StoreEncode,
+    StoreDecode,
 )]
 pub struct SimTime(pub i64);
 
 /// A span of simulated time, in seconds. May be negative for differences.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    Serialize,
+    Deserialize,
+    StoreEncode,
+    StoreDecode,
 )]
 pub struct SimDuration(pub i64);
 
@@ -74,7 +99,20 @@ impl SimDuration {
 }
 
 /// A civil (proleptic Gregorian) calendar date in UTC.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Serialize,
+    Deserialize,
+    StoreEncode,
+    StoreDecode,
+)]
 pub struct CivilDate {
     pub year: i32,
     /// 1-based month.

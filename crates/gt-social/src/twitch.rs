@@ -12,19 +12,33 @@
 
 use crate::youtube::{ChatMessage, StreamVideo, ViewerCurve};
 use gt_qr::{encode, EcLevel, Frame};
-use gt_sim::faults::{CheckedCall, Denied, FaultDriver, Substrate};
+use gt_sim::faults::{CheckedCall, Denied, Substrate};
 use gt_sim::{SimDuration, SimTime};
+use gt_store::{StoreDecode, StoreEncode};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// Seconds of advertisement inserted before stream content.
 pub const AD_SECONDS: i64 = 15;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Serialize,
+    Deserialize,
+    StoreEncode,
+    StoreDecode,
+)]
 pub struct TwitchStreamId(pub u64);
 
 /// A Twitch stream.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, StoreEncode, StoreDecode)]
 pub struct TwitchStream {
     pub id: TwitchStreamId,
     pub channel_name: String,
@@ -46,7 +60,7 @@ impl TwitchStream {
 }
 
 /// Per-endpoint call counts.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, StoreEncode, StoreDecode)]
 pub struct TwitchApiCalls {
     pub get_streams: u64,
     pub record: u64,
@@ -54,7 +68,7 @@ pub struct TwitchApiCalls {
 }
 
 /// The Twitch platform.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, StoreEncode, StoreDecode)]
 pub struct Twitch {
     streams: Vec<TwitchStream>,
     calls: Mutex<TwitchApiCalls>,
@@ -177,42 +191,6 @@ impl Twitch {
             let n = messages.len() as u64;
             (messages, n)
         })
-    }
-
-    // ---- legacy `_checked` names (thin delegates, one release) ----
-
-    /// Deprecated alias for [`Twitch::get_streams_gated`].
-    #[deprecated(since = "0.1.0", note = "use `get_streams_gated`")]
-    pub fn get_streams_checked(
-        &self,
-        now: SimTime,
-        gate: &mut FaultDriver<'_>,
-    ) -> Result<Vec<&TwitchStream>, Denied> {
-        self.get_streams_gated(now, gate)
-    }
-
-    /// Deprecated alias for [`Twitch::record_gated`].
-    #[deprecated(since = "0.1.0", note = "use `record_gated`")]
-    pub fn record_checked(
-        &self,
-        id: TwitchStreamId,
-        now: SimTime,
-        duration: SimDuration,
-        gate: &mut FaultDriver<'_>,
-    ) -> Result<Vec<Frame>, Denied> {
-        self.record_gated(id, now, duration, gate)
-    }
-
-    /// Deprecated alias for [`Twitch::chat_since_gated`].
-    #[deprecated(since = "0.1.0", note = "use `chat_since_gated`")]
-    pub fn chat_since_checked(
-        &self,
-        id: TwitchStreamId,
-        since: SimTime,
-        now: SimTime,
-        gate: &mut FaultDriver<'_>,
-    ) -> Result<Vec<ChatMessage>, Denied> {
-        self.chat_since_gated(id, since, now, gate)
     }
 }
 

@@ -7,20 +7,47 @@
 //! with the same URL extractor the chat scanner uses.
 
 use gt_sim::SimTime;
+use gt_store::{StoreDecode, StoreEncode};
 use gt_text::extract_urls;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of a tweet within the snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Serialize,
+    Deserialize,
+    StoreEncode,
+    StoreDecode,
+)]
 pub struct TweetId(pub u64);
 
 /// Identifier of a Twitter account.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Serialize,
+    Deserialize,
+    StoreEncode,
+    StoreDecode,
+)]
 pub struct TwitterAccountId(pub u64);
 
 /// A public tweet as the snapshot stores it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct Tweet {
     pub id: TweetId,
     pub author: TwitterAccountId,
@@ -35,7 +62,7 @@ pub struct Tweet {
 }
 
 /// The static tweet corpus with a domain inverted index.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, StoreEncode, StoreDecode)]
 pub struct TwitterSnapshot {
     tweets: Vec<Tweet>,
     by_domain: HashMap<String, Vec<TweetId>>,

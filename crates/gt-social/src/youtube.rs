@@ -6,22 +6,49 @@
 //! recorded for quota audits.
 
 use gt_qr::{encode, EcLevel, Frame, Matrix};
-use gt_sim::faults::{CheckedCall, Denied, FaultDriver, Substrate};
+use gt_sim::faults::{CheckedCall, Denied, Substrate};
 use gt_sim::{SimDuration, SimTime};
+use gt_store::{StoreDecode, StoreEncode};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// Maximum chat messages returned per history call (YouTube's cap).
 pub const CHAT_HISTORY_LIMIT: usize = 70;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Serialize,
+    Deserialize,
+    StoreEncode,
+    StoreDecode,
+)]
 pub struct ChannelId(pub u64);
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Serialize,
+    Deserialize,
+    StoreEncode,
+    StoreDecode,
+)]
 pub struct LiveStreamId(pub u64);
 
 /// A YouTube channel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct Channel {
     pub id: ChannelId,
     pub name: String,
@@ -29,7 +56,7 @@ pub struct Channel {
 }
 
 /// A timestamped chat message.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct ChatMessage {
     pub time: SimTime,
     pub author: String,
@@ -37,7 +64,7 @@ pub struct ChatMessage {
 }
 
 /// What the video track shows.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, StoreEncode, StoreDecode)]
 pub enum StreamVideo {
     /// Ordinary content; frames carry no QR code.
     Benign,
@@ -56,7 +83,7 @@ pub enum StreamVideo {
 }
 
 /// How many viewers a stream has over time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct ViewerCurve {
     /// Peak concurrent viewers.
     pub peak_concurrent: u64,
@@ -80,7 +107,7 @@ impl ViewerCurve {
 }
 
 /// A livestream with its full (pre-generated) history.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, StoreEncode, StoreDecode)]
 pub struct LiveStream {
     pub id: LiveStreamId,
     pub channel: ChannelId,
@@ -128,7 +155,9 @@ impl LiveStream {
 }
 
 /// Per-endpoint API call counters.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, StoreEncode, StoreDecode,
+)]
 pub struct ApiCallCounts {
     pub search: u64,
     pub stream_details: u64,
@@ -143,11 +172,14 @@ pub struct ApiCallCounts {
 /// instead of scanning the whole population on every poll.
 type LiveIndex = (Vec<(SimTime, LiveStreamId)>, SimDuration);
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, StoreEncode, StoreDecode)]
 pub struct YouTube {
     channels: Vec<Channel>,
     streams: Vec<LiveStream>,
     calls: Mutex<ApiCallCounts>,
+    /// Derived acceleration structure; rebuilt lazily on first `live_at`
+    /// query, so it is excluded from snapshots.
+    #[store(skip)]
     live_index: Mutex<Option<LiveIndex>>,
 }
 
@@ -384,53 +416,6 @@ impl YouTube {
             let n = frames.len() as u64;
             (frames, n)
         })
-    }
-
-    // ---- legacy `_checked` names (thin delegates, one release) ----
-
-    /// Deprecated alias for [`YouTube::search_live_gated`].
-    #[deprecated(since = "0.1.0", note = "use `search_live_gated`")]
-    pub fn search_live_checked(
-        &self,
-        keywords: &gt_text::KeywordSet,
-        now: SimTime,
-        gate: &mut FaultDriver<'_>,
-    ) -> Result<Vec<SearchHit>, Denied> {
-        self.search_live_gated(keywords, now, gate)
-    }
-
-    /// Deprecated alias for [`YouTube::stream_details_gated`].
-    #[deprecated(since = "0.1.0", note = "use `stream_details_gated`")]
-    pub fn stream_details_checked(
-        &self,
-        id: LiveStreamId,
-        now: SimTime,
-        gate: &mut FaultDriver<'_>,
-    ) -> Result<Option<(u64, u64)>, Denied> {
-        self.stream_details_gated(id, now, gate)
-    }
-
-    /// Deprecated alias for [`YouTube::chat_history_gated`].
-    #[deprecated(since = "0.1.0", note = "use `chat_history_gated`")]
-    pub fn chat_history_checked(
-        &self,
-        id: LiveStreamId,
-        now: SimTime,
-        gate: &mut FaultDriver<'_>,
-    ) -> Result<Vec<ChatMessage>, Denied> {
-        self.chat_history_gated(id, now, gate)
-    }
-
-    /// Deprecated alias for [`YouTube::record_gated`].
-    #[deprecated(since = "0.1.0", note = "use `record_gated`")]
-    pub fn record_checked(
-        &self,
-        id: LiveStreamId,
-        now: SimTime,
-        duration: SimDuration,
-        gate: &mut FaultDriver<'_>,
-    ) -> Result<Vec<Frame>, Denied> {
-        self.record_gated(id, now, duration, gate)
     }
 }
 

@@ -1,0 +1,523 @@
+//! `#[derive(StoreEncode, StoreDecode)]` for the `gt-store` codec.
+//!
+//! Like the vendored `serde_derive`, this walks the raw
+//! `proc_macro::TokenTree` stream directly (no `syn`/`quote` in the
+//! approved dependency set). It understands the item shapes the
+//! workspace derives on: named/tuple/unit structs, enums with
+//! unit/newtype/tuple/struct variants, simple `<T>` generics, and the
+//! `#[store(skip)]` field attribute (skipped fields are not encoded and
+//! are rebuilt with `Default::default()` on decode).
+//!
+//! The generated encoding is *deterministic*: a pure function of the
+//! value, independent of process, thread count, or allocator state.
+//! `gt-store` relies on that to content-address cache entries.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<Field>),
+    /// Tuple fields, one `skip` flag per position.
+    Tuple(Vec<bool>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("gt-store-derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Consumes a run of `#[...]` attributes; returns true if any of
+    /// them is a `#[store(skip)]`.
+    fn eat_attrs(&mut self) -> bool {
+        let mut skip = false;
+        while self.eat_punct('#') {
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    if is_store_skip(&g) {
+                        skip = true;
+                    }
+                }
+                other => panic!("gt-store-derive: malformed attribute, found {other:?}"),
+            }
+        }
+        skip
+    }
+
+    fn eat_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Consumes tokens of a type (or expression) until a `,` at
+    /// angle-bracket depth zero, leaving the comma unconsumed.
+    fn skip_until_comma(&mut self) {
+        let mut depth = 0i32;
+        while let Some(tok) = self.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => return,
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Parses `<...>` generic parameters into their names (`T`, `'a`, …).
+    fn parse_generics(&mut self) -> Vec<String> {
+        let mut params = Vec::new();
+        if !self.eat_punct('<') {
+            return params;
+        }
+        let mut depth = 1i32;
+        let mut expecting_name = true;
+        while depth > 0 {
+            match self.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 1 => expecting_name = true,
+                    '\'' if depth == 1 && expecting_name => {
+                        let lt = self.expect_ident();
+                        params.push(format!("'{lt}"));
+                        expecting_name = false;
+                    }
+                    _ => {}
+                },
+                Some(TokenTree::Ident(id)) => {
+                    if depth == 1 && expecting_name {
+                        params.push(id.to_string());
+                        expecting_name = false;
+                    }
+                }
+                Some(_) => {}
+                None => panic!("gt-store-derive: unterminated generics"),
+            }
+        }
+        params
+    }
+}
+
+/// Structural check for `#[store(skip)]` — a substring test would
+/// false-positive on doc comments mentioning "store" and "skip".
+fn is_store_skip(g: &Group) -> bool {
+    let mut it = g.stream().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(inner)))
+            if id.to_string() == "store" && inner.delimiter() == Delimiter::Parenthesis =>
+        {
+            inner
+                .stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let skip = c.eat_attrs();
+        c.eat_visibility();
+        let name = c.expect_ident();
+        assert!(
+            c.eat_punct(':'),
+            "gt-store-derive: expected `:` after field `{name}`"
+        );
+        c.skip_until_comma();
+        c.eat_punct(',');
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<bool> {
+    let mut c = Cursor::new(stream);
+    let mut skips = Vec::new();
+    while c.peek().is_some() {
+        let skip = c.eat_attrs();
+        c.eat_visibility();
+        c.skip_until_comma();
+        c.eat_punct(',');
+        skips.push(skip);
+    }
+    skips
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        c.eat_attrs();
+        let name = c.expect_ident();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                c.pos += 1;
+                Fields::Tuple(parse_tuple_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                c.pos += 1;
+                Fields::Named(parse_named_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        if c.eat_punct('=') {
+            // Explicit discriminant: skip the expression.
+            c.skip_until_comma();
+        }
+        c.eat_punct(',');
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.eat_attrs();
+    c.eat_visibility();
+    let kind_word = c.expect_ident();
+    let name = c.expect_ident();
+    let generics = c.parse_generics();
+    let kind = match kind_word.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Tuple(parse_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
+            other => panic!("gt-store-derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("gt-store-derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("gt-store-derive: can only derive on struct/enum, found `{other}`"),
+    };
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// `(impl-decl generics with trait bounds, usage generics)`.
+fn generics_decl(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let decl: Vec<String> = item
+        .generics
+        .iter()
+        .map(|g| {
+            if g.starts_with('\'') {
+                g.clone()
+            } else {
+                format!("{g}: {bound}")
+            }
+        })
+        .collect();
+    let usage = item.generics.join(", ");
+    (format!("<{}>", decl.join(", ")), format!("<{usage}>"))
+}
+
+fn live_count_named(fields: &[Field]) -> usize {
+    fields.iter().filter(|f| !f.skip).count()
+}
+
+fn live_count_tuple(skips: &[bool]) -> usize {
+    skips.iter().filter(|s| !**s).count()
+}
+
+// ---- encode ----
+
+/// Statements encoding the (non-skipped) named fields of a struct or
+/// struct variant; `accessor` prefixes each field name (`&self.` for
+/// structs, empty for bound variant fields).
+fn encode_named(fields: &[Field], accessor: &str) -> String {
+    let mut out = format!("e.begin_struct({}u16);", live_count_named(fields));
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "e.field(\"{0}\"); gt_store::StoreEncode::store_encode({1}{0}, e);",
+            f.name, accessor
+        ));
+    }
+    out
+}
+
+fn emit_encode(item: &Item) -> String {
+    let (decl, usage) = generics_decl(item, "gt_store::StoreEncode");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => "e.unit();".to_string(),
+        Kind::Struct(Fields::Named(fields)) => encode_named(fields, "&self."),
+        Kind::Struct(Fields::Tuple(skips)) if skips.len() == 1 && !skips[0] => {
+            "gt_store::StoreEncode::store_encode(&self.0, e);".to_string()
+        }
+        Kind::Struct(Fields::Tuple(skips)) => {
+            let mut out = format!("e.begin_tuple({}u16);", live_count_tuple(skips));
+            for (i, skip) in skips.iter().enumerate() {
+                if !skip {
+                    out.push_str(&format!(
+                        "gt_store::StoreEncode::store_encode(&self.{i}, e);"
+                    ));
+                }
+            }
+            out
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .enumerate()
+                .map(|(idx, v)| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => {{ e.begin_enum({idx}u32); e.unit(); }}"
+                        ),
+                        Fields::Tuple(skips) if skips.len() == 1 && !skips[0] => format!(
+                            "{name}::{vname}(f0) => {{ e.begin_enum({idx}u32); \
+                             gt_store::StoreEncode::store_encode(f0, e); }}"
+                        ),
+                        Fields::Tuple(skips) => {
+                            let binds: Vec<String> = (0..skips.len())
+                                .map(|i| if skips[i] { "_".to_string() } else { format!("f{i}") })
+                                .collect();
+                            let mut stmts = format!(
+                                "e.begin_enum({idx}u32); e.begin_tuple({}u16);",
+                                live_count_tuple(skips)
+                            );
+                            for (i, skip) in skips.iter().enumerate() {
+                                if !skip {
+                                    stmts.push_str(&format!(
+                                        "gt_store::StoreEncode::store_encode(f{i}, e);"
+                                    ));
+                                }
+                            }
+                            format!(
+                                "{name}::{vname}({}) => {{ {stmts} }}",
+                                binds.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds: String = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| format!("{}, ", f.name))
+                                .collect();
+                            let mut stmts = format!(
+                                "e.begin_enum({idx}u32); e.begin_struct({}u16);",
+                                live_count_named(fields)
+                            );
+                            for f in fields.iter().filter(|f| !f.skip) {
+                                stmts.push_str(&format!(
+                                    "e.field(\"{0}\"); gt_store::StoreEncode::store_encode({0}, e);",
+                                    f.name
+                                ));
+                            }
+                            format!("{name}::{vname} {{ {binds}.. }} => {{ {stmts} }}")
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.concat())
+        }
+    };
+    format!(
+        "impl{decl} gt_store::StoreEncode for {name}{usage} {{ \
+         fn store_encode(&self, e: &mut gt_store::Encoder) {{ {body} }} }}"
+    )
+}
+
+// ---- decode ----
+
+/// A struct-literal field list decoding the named fields in declaration
+/// order (skipped fields get `Default::default()`). Rust evaluates
+/// struct-literal fields in written order, which matches encode order.
+fn decode_named_literal(fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: core::default::Default::default(),", f.name)
+            } else {
+                format!(
+                    "{0}: {{ d.field(\"{0}\")?; gt_store::StoreDecode::store_decode(d)? }},",
+                    f.name
+                )
+            }
+        })
+        .collect()
+}
+
+fn decode_tuple_args(skips: &[bool]) -> String {
+    skips
+        .iter()
+        .map(|skip| {
+            if *skip {
+                "core::default::Default::default(),".to_string()
+            } else {
+                "gt_store::StoreDecode::store_decode(d)?,".to_string()
+            }
+        })
+        .collect()
+}
+
+fn emit_decode(item: &Item) -> String {
+    let (decl, usage) = generics_decl(item, "gt_store::StoreDecode");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => format!("d.unit()?; core::result::Result::Ok({name})"),
+        Kind::Struct(Fields::Named(fields)) => format!(
+            "d.begin_struct({}u16)?; core::result::Result::Ok({name} {{ {} }})",
+            live_count_named(fields),
+            decode_named_literal(fields)
+        ),
+        Kind::Struct(Fields::Tuple(skips)) if skips.len() == 1 && !skips[0] => {
+            format!("core::result::Result::Ok({name}(gt_store::StoreDecode::store_decode(d)?))")
+        }
+        Kind::Struct(Fields::Tuple(skips)) => format!(
+            "d.begin_tuple({}u16)?; core::result::Result::Ok({name}({}))",
+            live_count_tuple(skips),
+            decode_tuple_args(skips)
+        ),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .enumerate()
+                .map(|(idx, v)| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{idx}u32 => {{ d.unit()?; core::result::Result::Ok({name}::{vname}) }}"
+                        ),
+                        Fields::Tuple(skips) if skips.len() == 1 && !skips[0] => format!(
+                            "{idx}u32 => core::result::Result::Ok({name}::{vname}(\
+                             gt_store::StoreDecode::store_decode(d)?)),"
+                        ),
+                        Fields::Tuple(skips) => format!(
+                            "{idx}u32 => {{ d.begin_tuple({}u16)?; \
+                             core::result::Result::Ok({name}::{vname}({})) }}",
+                            live_count_tuple(skips),
+                            decode_tuple_args(skips)
+                        ),
+                        Fields::Named(fields) => format!(
+                            "{idx}u32 => {{ d.begin_struct({}u16)?; \
+                             core::result::Result::Ok({name}::{vname} {{ {} }}) }}",
+                            live_count_named(fields),
+                            decode_named_literal(fields)
+                        ),
+                    }
+                })
+                .collect();
+            format!(
+                "match d.begin_enum()? {{ {} v => core::result::Result::Err(\
+                 gt_store::DecodeError::UnknownVariant {{ ty: \"{name}\", variant: v }}), }}",
+                arms.concat()
+            )
+        }
+    };
+    format!(
+        "impl{decl} gt_store::StoreDecode for {name}{usage} {{ \
+         fn store_decode(d: &mut gt_store::Decoder<'_>) \
+         -> core::result::Result<Self, gt_store::DecodeError> {{ {body} }} }}"
+    )
+}
+
+#[proc_macro_derive(StoreEncode, attributes(store))]
+pub fn derive_store_encode(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_encode(&item)
+        .parse()
+        .expect("gt-store-derive: generated StoreEncode impl failed to parse")
+}
+
+#[proc_macro_derive(StoreDecode, attributes(store))]
+pub fn derive_store_decode(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_decode(&item)
+        .parse()
+        .expect("gt-store-derive: generated StoreDecode impl failed to parse")
+}

@@ -1,0 +1,325 @@
+//! The tagged binary wire format.
+//!
+//! Every value starts with a one-byte tag, so a decoder pointed at the
+//! wrong type fails loudly instead of misreading bytes. Integers are
+//! fixed-width little-endian (no varints: simpler, and size is not the
+//! bottleneck — determinism is). Struct fields carry a 32-bit FNV-1a
+//! hash of the field name, giving cheap schema-drift detection without
+//! storing full names.
+
+use crate::DecodeError;
+
+pub(crate) const T_UNIT: u8 = 0x00;
+pub(crate) const T_FALSE: u8 = 0x01;
+pub(crate) const T_TRUE: u8 = 0x02;
+pub(crate) const T_U8: u8 = 0x03;
+pub(crate) const T_U64: u8 = 0x04;
+pub(crate) const T_I64: u8 = 0x05;
+pub(crate) const T_F64: u8 = 0x06;
+pub(crate) const T_STR: u8 = 0x07;
+pub(crate) const T_SEQ: u8 = 0x08;
+pub(crate) const T_MAP: u8 = 0x09;
+pub(crate) const T_NONE: u8 = 0x0A;
+pub(crate) const T_SOME: u8 = 0x0B;
+pub(crate) const T_STRUCT: u8 = 0x0C;
+pub(crate) const T_ENUM: u8 = 0x0D;
+pub(crate) const T_TUPLE: u8 = 0x0E;
+
+/// 32-bit FNV-1a of a field name.
+pub(crate) fn fnv32(s: &str) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in s.bytes() {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Serializer for the gt-store format. Append-only byte buffer.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append pre-encoded bytes verbatim (used by the sorted-map
+    /// encoding, which encodes keys out of line to order them).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    pub fn unit(&mut self) {
+        self.buf.push(T_UNIT);
+    }
+
+    pub fn boolean(&mut self, v: bool) {
+        self.buf.push(if v { T_TRUE } else { T_FALSE });
+    }
+
+    pub fn byte(&mut self, v: u8) {
+        self.buf.push(T_U8);
+        self.buf.push(v);
+    }
+
+    pub fn uint(&mut self, v: u64) {
+        self.buf.push(T_U64);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn int(&mut self, v: i64) {
+        self.buf.push(T_I64);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Bit-exact: encodes `f64::to_bits`, so NaN payloads and signed
+    /// zeros round-trip.
+    pub fn float(&mut self, v: f64) {
+        self.buf.push(T_F64);
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    pub fn string(&mut self, v: &str) {
+        self.buf.push(T_STR);
+        self.buf.extend_from_slice(&(v.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    pub fn begin_seq(&mut self, len: usize) {
+        self.buf.push(T_SEQ);
+        self.buf.extend_from_slice(&(len as u64).to_le_bytes());
+    }
+
+    pub fn begin_map(&mut self, len: usize) {
+        self.buf.push(T_MAP);
+        self.buf.extend_from_slice(&(len as u64).to_le_bytes());
+    }
+
+    pub fn none(&mut self) {
+        self.buf.push(T_NONE);
+    }
+
+    pub fn some(&mut self) {
+        self.buf.push(T_SOME);
+    }
+
+    pub fn begin_struct(&mut self, fields: u16) {
+        self.buf.push(T_STRUCT);
+        self.buf.extend_from_slice(&fields.to_le_bytes());
+    }
+
+    pub fn field(&mut self, name: &str) {
+        self.buf.extend_from_slice(&fnv32(name).to_le_bytes());
+    }
+
+    pub fn begin_enum(&mut self, variant: u32) {
+        self.buf.push(T_ENUM);
+        self.buf.extend_from_slice(&variant.to_le_bytes());
+    }
+
+    pub fn begin_tuple(&mut self, len: u16) {
+        self.buf.push(T_TUPLE);
+        self.buf.extend_from_slice(&len.to_le_bytes());
+    }
+}
+
+/// Deserializer over a byte slice.
+pub struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Decoder { bytes, pos: 0 }
+    }
+
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Errors unless the input was fully consumed.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes {
+                remaining: self.bytes.len() - self.pos,
+            })
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(DecodeError::UnexpectedEof { at: self.pos })?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn tag(&mut self, expected: u8, what: &'static str) -> Result<(), DecodeError> {
+        let at = self.pos;
+        let found = self.take(1)?[0];
+        if found == expected {
+            Ok(())
+        } else {
+            Err(DecodeError::WrongTag {
+                expected: what,
+                found,
+                at,
+            })
+        }
+    }
+
+    fn raw_u16(&mut self) -> Result<u16, DecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn raw_u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn raw_u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(b);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    pub fn unit(&mut self) -> Result<(), DecodeError> {
+        self.tag(T_UNIT, "unit")
+    }
+
+    pub fn boolean(&mut self) -> Result<bool, DecodeError> {
+        let at = self.pos;
+        match self.take(1)?[0] {
+            T_TRUE => Ok(true),
+            T_FALSE => Ok(false),
+            found => Err(DecodeError::WrongTag {
+                expected: "bool",
+                found,
+                at,
+            }),
+        }
+    }
+
+    pub fn byte(&mut self) -> Result<u8, DecodeError> {
+        self.tag(T_U8, "u8")?;
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn uint(&mut self) -> Result<u64, DecodeError> {
+        self.tag(T_U64, "unsigned integer")?;
+        self.raw_u64()
+    }
+
+    pub fn int(&mut self) -> Result<i64, DecodeError> {
+        self.tag(T_I64, "signed integer")?;
+        Ok(self.raw_u64()? as i64)
+    }
+
+    pub fn float(&mut self) -> Result<f64, DecodeError> {
+        self.tag(T_F64, "float")?;
+        Ok(f64::from_bits(self.raw_u64()?))
+    }
+
+    pub fn string(&mut self) -> Result<String, DecodeError> {
+        self.tag(T_STR, "string")?;
+        let len = self.raw_u64()? as usize;
+        let at = self.pos;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8 { at })
+    }
+
+    /// Returns the element count.
+    pub fn begin_seq(&mut self) -> Result<u64, DecodeError> {
+        self.tag(T_SEQ, "sequence")?;
+        self.raw_u64()
+    }
+
+    /// Returns the entry count.
+    pub fn begin_map(&mut self) -> Result<u64, DecodeError> {
+        self.tag(T_MAP, "map")?;
+        self.raw_u64()
+    }
+
+    /// Returns whether a value follows (`Some`).
+    pub fn option(&mut self) -> Result<bool, DecodeError> {
+        let at = self.pos;
+        match self.take(1)?[0] {
+            T_SOME => Ok(true),
+            T_NONE => Ok(false),
+            found => Err(DecodeError::WrongTag {
+                expected: "option",
+                found,
+                at,
+            }),
+        }
+    }
+
+    pub fn begin_struct(&mut self, expected_fields: u16) -> Result<(), DecodeError> {
+        let at = self.pos;
+        self.tag(T_STRUCT, "struct")?;
+        let found = self.raw_u16()?;
+        if found == expected_fields {
+            Ok(())
+        } else {
+            Err(DecodeError::CountMismatch {
+                expected: u64::from(expected_fields),
+                found: u64::from(found),
+                at,
+            })
+        }
+    }
+
+    pub fn field(&mut self, name: &'static str) -> Result<(), DecodeError> {
+        let at = self.pos;
+        let found = self.raw_u32()?;
+        if found == fnv32(name) {
+            Ok(())
+        } else {
+            Err(DecodeError::FieldMismatch { expected: name, at })
+        }
+    }
+
+    /// Returns the variant index.
+    pub fn begin_enum(&mut self) -> Result<u32, DecodeError> {
+        self.tag(T_ENUM, "enum")?;
+        self.raw_u32()
+    }
+
+    pub fn begin_tuple(&mut self, expected_len: u16) -> Result<(), DecodeError> {
+        let at = self.pos;
+        self.tag(T_TUPLE, "tuple")?;
+        let found = self.raw_u16()?;
+        if found == expected_len {
+            Ok(())
+        } else {
+            Err(DecodeError::CountMismatch {
+                expected: u64::from(expected_len),
+                found: u64::from(found),
+                at,
+            })
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Record framing: every on-disk entry is
+//!
+//! ```text
+//! magic "GTS1" (4) ‖ schema version u32 LE (4) ‖ payload len u64 LE (8)
+//!   ‖ payload ‖ SHA-256(header ‖ payload) (32)
+//! ```
+//!
+//! [`open`] verifies all four before handing back the payload, so a
+//! torn write (kill -9 mid-`write(2)`), a flipped bit, or an entry from
+//! an older schema all surface as a typed error — which the store turns
+//! into a cache miss.
+
+use crate::DecodeError;
+
+/// File magic for gt-store records.
+pub const MAGIC: [u8; 4] = *b"GTS1";
+
+/// Version of both the codec wire format and the keyed content layout.
+/// Bump on any change to either; it participates in every cache key, so
+/// old entries are simply never looked up again.
+pub const SCHEMA_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 4 + 4 + 8;
+const FOOTER_LEN: usize = 32;
+
+/// Frame a payload into a self-verifying record.
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + FOOTER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let footer = gt_hash::sha256(&out);
+    out.extend_from_slice(&footer);
+    out
+}
+
+/// Verify a record's magic, version, length, and integrity footer, and
+/// return its payload.
+pub fn open(record: &[u8]) -> Result<&[u8], DecodeError> {
+    if record.len() < HEADER_LEN + FOOTER_LEN {
+        return Err(DecodeError::Truncated);
+    }
+    if record[..4] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = u32::from_le_bytes([record[4], record[5], record[6], record[7]]);
+    if version != SCHEMA_VERSION {
+        return Err(DecodeError::BadVersion { found: version });
+    }
+    let mut len_bytes = [0u8; 8];
+    len_bytes.copy_from_slice(&record[8..16]);
+    let payload_len = u64::from_le_bytes(len_bytes);
+    let body_end = (payload_len as usize)
+        .checked_add(HEADER_LEN)
+        .ok_or(DecodeError::Truncated)?;
+    if record.len() != body_end + FOOTER_LEN {
+        return Err(DecodeError::Truncated);
+    }
+    let expected = &record[body_end..];
+    let actual = gt_hash::sha256(&record[..body_end]);
+    if actual != expected {
+        return Err(DecodeError::HashMismatch);
+    }
+    Ok(&record[HEADER_LEN..body_end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let payload = b"hello, store";
+        let record = seal(payload);
+        assert_eq!(open(&record).unwrap(), payload);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let record = seal(b"");
+        assert_eq!(open(&record).unwrap(), b"");
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut record = seal(b"payload bytes");
+        let mid = record.len() / 2;
+        record[mid] ^= 0x01;
+        assert!(matches!(
+            open(&record),
+            Err(DecodeError::HashMismatch) | Err(DecodeError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let record = seal(b"payload bytes");
+        for cut in 0..record.len() {
+            assert!(open(&record[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut record = seal(b"x");
+        record[0] = b'X';
+        assert_eq!(open(&record), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut record = seal(b"x");
+        record[4] = 0xFF;
+        assert!(matches!(
+            open(&record),
+            Err(DecodeError::BadVersion { found: _ })
+        ));
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests for the gt-store codec and record framing: arbitrary
+//! composite values round-trip exactly and canonically, and any
+//! corruption or truncation of a sealed record is rejected — never
+//! misread as a different value.
+
+use gt_store::{decode_from_slice, encode_to_vec, open, seal, StoreDecode, StoreEncode};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A composite exercising every codec shape at once: ints, floats,
+/// strings, enums, options, tuples, ordered and unordered collections.
+#[derive(Debug, Clone, PartialEq, StoreEncode, StoreDecode)]
+struct Payload {
+    id: u64,
+    delta: i64,
+    rate: f64,
+    label: String,
+    flags: Vec<bool>,
+    counts: BTreeMap<String, u64>,
+    sparse: HashMap<u64, i64>,
+    tags: HashSet<u32>,
+    mode: Mode,
+    extra: Option<(u32, String)>,
+}
+
+#[derive(Debug, Clone, PartialEq, StoreEncode, StoreDecode)]
+enum Mode {
+    Off,
+    Level(u8),
+    Window { from: i64, to: i64 },
+}
+
+#[allow(clippy::too_many_arguments)]
+fn payload(
+    id: u64,
+    delta: i64,
+    rate: f64,
+    label: String,
+    flags: Vec<bool>,
+    pairs: Vec<(u64, i64)>,
+    names: Vec<String>,
+    tags: Vec<u32>,
+    mode_pick: u8,
+    extra: Option<(u32, String)>,
+) -> Payload {
+    Payload {
+        id,
+        delta,
+        rate,
+        label,
+        flags,
+        counts: names.iter().cloned().zip(0u64..).collect(),
+        sparse: pairs.iter().copied().collect(),
+        tags: tags.into_iter().collect(),
+        mode: match mode_pick % 3 {
+            0 => Mode::Off,
+            1 => Mode::Level(mode_pick),
+            _ => Mode::Window {
+                from: delta,
+                to: delta.saturating_add(7),
+            },
+        },
+        extra,
+    }
+}
+
+proptest! {
+    #[test]
+    fn composite_values_round_trip(
+        id in any::<u64>(),
+        delta in any::<i64>(),
+        rate in any::<f64>(),
+        label in "[ -~]{0,24}",
+        flags in vec(any::<bool>(), 0..8),
+        pairs in vec((any::<u64>(), any::<i64>()), 0..8),
+        names in vec("[a-z]{1,8}", 0..6),
+        tags in vec(any::<u32>(), 0..10),
+        mode_pick in any::<u8>(),
+        extra_n in any::<u32>(),
+        extra_s in "[a-z]{0,6}",
+        has_extra in any::<bool>(),
+    ) {
+        let extra = has_extra.then_some((extra_n, extra_s));
+        let value = payload(id, delta, rate, label, flags, pairs, names, tags, mode_pick, extra);
+        let bytes = encode_to_vec(&value);
+        let decoded: Payload = decode_from_slice(&bytes).expect("round trip decodes");
+        prop_assert_eq!(&decoded, &value);
+        // Canonical: re-encoding the decoded value reproduces the bytes
+        // exactly (this is what makes content addressing work).
+        prop_assert_eq!(encode_to_vec(&decoded), bytes);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly(bits in any::<u64>()) {
+        // Including NaNs, infinities, negative zero, and subnormals:
+        // the codec moves the raw bit pattern, not the numeric value.
+        let value = f64::from_bits(bits);
+        let decoded: f64 = decode_from_slice(&encode_to_vec(&value)).expect("decodes");
+        prop_assert_eq!(decoded.to_bits(), bits);
+    }
+
+    #[test]
+    fn unordered_collections_encode_canonically(
+        pairs in vec((any::<u64>(), any::<i64>()), 0..24),
+    ) {
+        // Insertion order (and thus internal bucket layout) must not
+        // leak into the encoding — a 1-thread and an 8-thread run build
+        // these maps in different orders yet must address the same
+        // cache entries.
+        let forward: HashMap<u64, i64> = pairs.iter().copied().collect();
+        let reverse: HashMap<u64, i64> = pairs.iter().rev().copied().collect();
+        prop_assert_eq!(encode_to_vec(&forward), encode_to_vec(&reverse));
+        let fwd_set: HashSet<u64> = pairs.iter().map(|p| p.0).collect();
+        let rev_set: HashSet<u64> = pairs.iter().rev().map(|p| p.0).collect();
+        prop_assert_eq!(encode_to_vec(&fwd_set), encode_to_vec(&rev_set));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected(
+        v in vec(any::<u64>(), 0..8),
+        junk in any::<u8>(),
+    ) {
+        let mut bytes = encode_to_vec(&v);
+        bytes.push(junk);
+        prop_assert!(decode_from_slice::<Vec<u64>>(&bytes).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected(v in vec(any::<u64>(), 0..8)) {
+        let bytes = encode_to_vec(&v);
+        prop_assert!(decode_from_slice::<String>(&bytes).is_err());
+        prop_assert!(decode_from_slice::<Payload>(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupted_records_are_rejected(
+        body in vec(any::<u8>(), 0..64),
+        pos_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        // Flip one byte anywhere — magic, version, length, payload, or
+        // the SHA-256 footer itself — and the record must not open.
+        let sealed = seal(&body);
+        let pos = (pos_seed as usize) % sealed.len();
+        let mut bad = sealed.clone();
+        bad[pos] ^= flip;
+        prop_assert!(open(&bad).is_err(), "byte {} xor {:#04x} accepted", pos, flip);
+        prop_assert_eq!(open(&sealed).expect("pristine record opens"), &body[..]);
+    }
+
+    #[test]
+    fn truncated_records_are_rejected(
+        body in vec(any::<u8>(), 0..64),
+        cut_seed in any::<u64>(),
+    ) {
+        // A record cut anywhere — mid-header, mid-payload, mid-footer —
+        // must read as damage, not as a shorter record.
+        let sealed = seal(&body);
+        let cut = (cut_seed as usize) % sealed.len();
+        prop_assert!(open(&sealed[..cut]).is_err(), "cut at {} accepted", cut);
+    }
+
+    #[test]
+    fn extended_records_are_rejected(
+        body in vec(any::<u8>(), 0..64),
+        junk in vec(any::<u8>(), 1..16),
+    ) {
+        let mut sealed = seal(&body);
+        sealed.extend_from_slice(&junk);
+        prop_assert!(open(&sealed).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Exercises the `#[derive(StoreEncode, StoreDecode)]` macros across
+//! every shape they must support for the pipeline payload types.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use gt_store::{decode_from_slice, encode_to_vec, DecodeError, StoreDecode, StoreEncode};
+
+fn round_trip<T: StoreEncode + StoreDecode + PartialEq + std::fmt::Debug>(value: &T) {
+    let bytes = encode_to_vec(value);
+    let back: T = decode_from_slice(&bytes).expect("decode");
+    assert_eq!(&back, value);
+    // Re-encoding the decoded value must be byte-identical.
+    assert_eq!(encode_to_vec(&back), bytes);
+}
+
+#[derive(Debug, PartialEq, StoreEncode, StoreDecode)]
+struct Named {
+    count: u64,
+    rate: f64,
+    label: String,
+    flags: Vec<bool>,
+}
+
+#[derive(Debug, PartialEq, StoreEncode, StoreDecode)]
+struct Newtype(u64);
+
+#[derive(Debug, PartialEq, StoreEncode, StoreDecode)]
+struct Pair(String, i64);
+
+#[derive(Debug, PartialEq, StoreEncode, StoreDecode)]
+struct Unit;
+
+#[derive(Debug, PartialEq, StoreEncode, StoreDecode)]
+enum Shape {
+    Empty,
+    Boxed(u64),
+    Edge(i64, i64),
+    Labeled { name: String, weight: f64 },
+}
+
+#[derive(Debug, PartialEq, StoreEncode, StoreDecode)]
+struct WithSkip {
+    kept: u64,
+    #[store(skip)]
+    scratch: Option<String>,
+    also_kept: String,
+}
+
+#[derive(Debug, PartialEq, StoreEncode, StoreDecode)]
+struct Generic<T> {
+    inner: T,
+    pad: u8,
+}
+
+#[derive(Debug, PartialEq, StoreEncode, StoreDecode)]
+struct Nested {
+    named: Named,
+    shapes: Vec<Shape>,
+    lookup: BTreeMap<String, Newtype>,
+    sparse: HashMap<u64, String>,
+    members: HashSet<String>,
+    maybe: Option<Pair>,
+    fixed: [f64; 3],
+}
+
+fn sample_nested() -> Nested {
+    Nested {
+        named: Named {
+            count: 42,
+            rate: 0.125,
+            label: "conversion".into(),
+            flags: vec![true, false, true],
+        },
+        shapes: vec![
+            Shape::Empty,
+            Shape::Boxed(7),
+            Shape::Edge(-1, 1),
+            Shape::Labeled {
+                name: "whale".into(),
+                weight: 2.5,
+            },
+        ],
+        lookup: [("a".to_string(), Newtype(1)), ("b".to_string(), Newtype(2))]
+            .into_iter()
+            .collect(),
+        sparse: [(10u64, "x".to_string()), (20, "y".to_string())]
+            .into_iter()
+            .collect(),
+        members: ["btc".to_string(), "eth".to_string()].into_iter().collect(),
+        maybe: Some(Pair("p".into(), -9)),
+        fixed: [0.0, -0.0, f64::MAX],
+    }
+}
+
+#[test]
+fn named_struct_round_trips() {
+    round_trip(&Named {
+        count: u64::MAX,
+        rate: -1.5,
+        label: String::new(),
+        flags: vec![],
+    });
+}
+
+#[test]
+fn newtype_and_tuple_structs_round_trip() {
+    round_trip(&Newtype(99));
+    round_trip(&Pair("hello".into(), i64::MIN));
+    round_trip(&Unit);
+}
+
+#[test]
+fn enums_round_trip() {
+    round_trip(&Shape::Empty);
+    round_trip(&Shape::Boxed(0));
+    round_trip(&Shape::Edge(i64::MIN, i64::MAX));
+    round_trip(&Shape::Labeled {
+        name: "n".into(),
+        weight: f64::MIN_POSITIVE,
+    });
+}
+
+#[test]
+fn skipped_fields_reset_to_default() {
+    let original = WithSkip {
+        kept: 5,
+        scratch: Some("ephemeral".into()),
+        also_kept: "stays".into(),
+    };
+    let bytes = encode_to_vec(&original);
+    let back: WithSkip = decode_from_slice(&bytes).unwrap();
+    assert_eq!(back.kept, 5);
+    assert_eq!(back.also_kept, "stays");
+    assert_eq!(back.scratch, None);
+}
+
+#[test]
+fn generics_round_trip() {
+    round_trip(&Generic {
+        inner: vec![Newtype(1), Newtype(2)],
+        pad: 0xAB,
+    });
+}
+
+#[test]
+fn nested_round_trips() {
+    round_trip(&sample_nested());
+}
+
+#[test]
+fn unordered_collections_encode_canonically() {
+    // Two HashMaps with different insertion orders must encode to the
+    // same bytes — this is what makes cache keys process-independent.
+    let mut a = HashMap::new();
+    let mut b = HashMap::new();
+    for i in 0..100u64 {
+        a.insert(i, format!("v{i}"));
+    }
+    for i in (0..100u64).rev() {
+        b.insert(i, format!("v{i}"));
+    }
+    assert_eq!(encode_to_vec(&a), encode_to_vec(&b));
+}
+
+#[test]
+fn wrong_shape_is_rejected() {
+    let bytes = encode_to_vec(&Newtype(1));
+    assert!(decode_from_slice::<Named>(&bytes).is_err());
+    let bytes = encode_to_vec(&Shape::Boxed(1));
+    // Variant index 1 decodes as Boxed; an out-of-range index fails.
+    let mut raw = bytes.clone();
+    raw[1] = 0xFF; // variant index low byte
+    assert!(matches!(
+        decode_from_slice::<Shape>(&raw),
+        Err(DecodeError::UnknownVariant { ty: "Shape", .. }) | Err(_)
+    ));
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let mut bytes = encode_to_vec(&Newtype(1));
+    bytes.push(0);
+    assert!(matches!(
+        decode_from_slice::<Newtype>(&bytes),
+        Err(DecodeError::TrailingBytes { .. })
+    ));
+}

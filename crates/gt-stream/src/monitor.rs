@@ -16,6 +16,7 @@ use gt_qr::scan_frame;
 use gt_sim::faults::{CheckedCall, DegradationStats, FaultPlan, Gated, RetryPolicy, Substrate};
 use gt_sim::{CivilDate, SimDuration, SimTime};
 use gt_social::{ChannelId, LiveStreamId, YouTube};
+use gt_store::{StoreDecode, StoreEncode};
 use gt_text::extract_urls;
 use gt_web::crawler::{Crawler, CrawlerConfig, RevisitState};
 use gt_web::{Url, WebHost};
@@ -81,14 +82,16 @@ impl MonitorConfig {
 }
 
 /// Where a URL lead came from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, StoreEncode, StoreDecode,
+)]
 pub enum UrlSource {
     QrCode,
     Chat,
 }
 
 /// A URL extracted from a monitored stream.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct UrlLead {
     pub url: String,
     pub source: UrlSource,
@@ -97,7 +100,7 @@ pub struct UrlLead {
 }
 
 /// Everything the monitor learned about one stream.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct ObservedStream {
     pub stream: LiveStreamId,
     pub channel: ChannelId,
@@ -121,7 +124,7 @@ pub struct ObservedStream {
 }
 
 /// The final crawled content for a lead URL.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct CrawledPage {
     pub url: String,
     pub html: String,
@@ -129,7 +132,7 @@ pub struct CrawledPage {
 }
 
 /// The monitoring run's full output.
-#[derive(Debug, Default, PartialEq)]
+#[derive(Debug, Default, PartialEq, StoreEncode, StoreDecode)]
 pub struct MonitorReport {
     pub streams: Vec<ObservedStream>,
     pub leads: Vec<UrlLead>,

@@ -14,6 +14,7 @@ use gt_qr::scan_frame;
 use gt_sim::faults::{DegradationStats, FaultPlan, Gated, RetryPolicy};
 use gt_sim::{SimDuration, SimTime};
 use gt_social::{Twitch, TwitchStreamId};
+use gt_store::{StoreDecode, StoreEncode};
 use gt_text::{extract_urls, KeywordSet};
 use std::collections::{HashMap, HashSet};
 
@@ -28,7 +29,7 @@ const GAME_CATEGORIES: &[&str] = &[
 ];
 
 /// Output of the pilot run.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, StoreEncode, StoreDecode)]
 pub struct TwitchPilotReport {
     /// Streams seen across all list polls.
     pub streams_listed: usize,

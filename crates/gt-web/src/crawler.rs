@@ -162,18 +162,6 @@ impl Crawler {
         }
     }
 
-    /// Deprecated alias for [`Crawler::crawl_gated`].
-    #[deprecated(since = "0.1.0", note = "use `crawl_gated` (any `CheckedCall` gate)")]
-    pub fn crawl_checked(
-        &self,
-        host: &WebHost,
-        url: &Url,
-        now: SimTime,
-        gate: &mut FaultDriver<'_>,
-    ) -> CrawlOutcome {
-        self.crawl_gated(host, url, now, gate)
-    }
-
     /// Crawl a batch of URLs in parallel with a worker pool.
     pub fn crawl_many(
         &self,

@@ -1,15 +1,18 @@
 //! The simulated web: domains, cloaking scam sites, benign sites.
 
 use crate::url::Url;
-use gt_sim::faults::{CheckedCall, FaultDriver, FaultKind, Substrate};
+use gt_sim::faults::{CheckedCall, FaultKind, Substrate};
 use gt_sim::SimTime;
+use gt_store::{StoreDecode, StoreEncode};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Where a request originates from, as servers can observe it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, StoreEncode, StoreDecode,
+)]
 pub enum NetOrigin {
     /// University / corporate address space (what an unprotected
     /// measurement crawler looks like).
@@ -22,7 +25,9 @@ pub enum NetOrigin {
 }
 
 /// Which cloaking behaviours a scam site deploys (Section 3.2).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize, StoreEncode, StoreDecode,
+)]
 pub struct CloakingProfile {
     /// 403 to institutional/datacenter IPs.
     pub ip_cloaking: bool,
@@ -131,7 +136,7 @@ impl fmt::Display for FetchError {
 impl std::error::Error for FetchError {}
 
 /// Specification of a hosted scam site.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct ScamSiteSpec {
     pub domain: String,
     /// The landing-page HTML (contains addresses and scam keywords).
@@ -173,20 +178,20 @@ fn ua_looks_mainstream(ua: &str) -> bool {
 }
 
 /// A benign site (background web).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, StoreEncode, StoreDecode)]
 pub struct BenignSiteSpec {
     pub domain: String,
     pub html: String,
 }
 
-#[derive(Debug)]
+#[derive(Debug, StoreEncode, StoreDecode)]
 enum Site {
     Scam(ScamSiteSpec),
     Benign(BenignSiteSpec),
 }
 
 /// Fetch statistics for tests and the crawl report.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, StoreEncode, StoreDecode)]
 pub struct HostStats {
     pub fetches: u64,
     pub forbidden: u64,
@@ -195,7 +200,7 @@ pub struct HostStats {
 }
 
 /// The registry of all hosted sites.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, StoreEncode, StoreDecode)]
 pub struct WebHost {
     sites: HashMap<String, Site>,
     stats: Mutex<HostStats>,
@@ -301,17 +306,6 @@ impl WebHost {
                 Err(err)
             }
         }
-    }
-
-    /// Deprecated alias for [`WebHost::fetch_gated`].
-    #[deprecated(since = "0.1.0", note = "use `fetch_gated` (any `CheckedCall` gate)")]
-    pub fn fetch_checked(
-        &self,
-        req: &Request,
-        now: SimTime,
-        gate: &mut FaultDriver<'_>,
-    ) -> Result<Response, FetchError> {
-        self.fetch_gated(req, now, gate)
     }
 }
 

@@ -14,11 +14,12 @@ use gt_chain::{Amount, ChainView, TxOut};
 use gt_cluster::Category;
 use gt_sim::dist::sample_weighted;
 use gt_sim::{RngFactory, SimDuration, SimTime};
+use gt_store::{StoreDecode, StoreEncode};
 use rand::Rng;
 use std::collections::HashMap;
 
 /// Outcome counters for tests / EXPERIMENTS.md.
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, PartialEq, Eq, StoreEncode, StoreDecode)]
 pub struct CashoutSummary {
     /// Distinct recipients of outgoing transfers.
     pub recipients: usize,

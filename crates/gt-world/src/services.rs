@@ -11,11 +11,12 @@ use gt_addr::{Address, AddressGenerator, BtcAddress, Coin, EthAddress, XrpAddres
 use gt_chain::{Amount, ChainView};
 use gt_cluster::{Category, TagService};
 use gt_sim::{RngFactory, SimTime};
+use gt_store::{StoreDecode, StoreEncode};
 use rand::rngs::StdRng;
 use rand::Rng;
 
 /// One known service (e.g. an exchange) and its addresses.
-#[derive(Debug)]
+#[derive(Debug, StoreEncode, StoreDecode)]
 pub struct Service {
     pub name: String,
     pub category: Category,
@@ -36,7 +37,7 @@ impl Service {
 }
 
 /// The directory of all known services.
-#[derive(Debug)]
+#[derive(Debug, StoreEncode, StoreDecode)]
 pub struct ServiceDirectory {
     pub exchanges: Vec<Service>,
     pub mixers: Vec<Service>,

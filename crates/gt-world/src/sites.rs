@@ -3,6 +3,7 @@
 use gt_addr::{Address, Coin};
 use gt_hash::sha256d;
 use gt_sim::SimTime;
+use gt_store::{StoreDecode, StoreEncode};
 use gt_web::{CloakingProfile, ScamSiteSpec};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -11,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// A cryptocurrency address as displayed on a landing page: either one
 /// of the three coins the analysis tracks, or some other coin (DOGE,
 /// LTC, ...) the paper filters out.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct DisplayAddress {
     /// Human label shown next to the address ("BTC", "DOGE", ...).
     pub label: String,
@@ -32,7 +33,7 @@ impl DisplayAddress {
 }
 
 /// A scam domain with everything needed to host and promote it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct ScamDomain {
     pub domain: String,
     /// Index of the operation running it.
@@ -220,7 +221,7 @@ pub fn other_coin_address(rng: &mut StdRng) -> (String, String) {
 /// One entry of the CryptoScamTracker-style corpus: a domain with the
 /// addresses annotated when it was crawled (possibly incomplete — the
 /// paper notes missing/inaccurate addresses as a limitation).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct ScamDbEntry {
     pub domain: String,
     /// Annotated address strings with coin labels.
@@ -228,7 +229,9 @@ pub struct ScamDbEntry {
 }
 
 /// The corpus handed to the Twitter pipeline.
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(
+    Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize, StoreEncode, StoreDecode,
+)]
 pub struct ScamDomainDb {
     pub entries: Vec<ScamDbEntry>,
 }

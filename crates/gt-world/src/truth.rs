@@ -10,18 +10,21 @@ use gt_addr::Address;
 use gt_chain::TxRef;
 use gt_sim::SimTime;
 use gt_social::{LiveStreamId, TweetId, TwitchStreamId};
+use gt_store::{StoreDecode, StoreEncode};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Which platform a lure or payment belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, StoreEncode, StoreDecode,
+)]
 pub enum Platform {
     Twitter,
     YouTube,
 }
 
 /// One victim payment as generated.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct TruthPayment {
     pub platform: Platform,
     pub tx: TxRef,
@@ -40,7 +43,7 @@ pub struct TruthPayment {
 /// A consolidation transfer between scam-controlled addresses that lands
 /// inside a co-occurrence window (what the known-scam-sender filter must
 /// remove).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct TruthConsolidation {
     pub platform: Platform,
     pub tx: TxRef,
@@ -49,7 +52,7 @@ pub struct TruthConsolidation {
 }
 
 /// Everything the generator decided.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, StoreEncode, StoreDecode)]
 pub struct GroundTruth {
     /// Scam domains promoted on Twitter (the paper's 361).
     pub twitter_domains: Vec<ScamDomain>,

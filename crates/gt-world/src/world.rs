@@ -15,11 +15,13 @@ use gt_cluster::TagService;
 use gt_price::PriceOracle;
 use gt_sim::{RngFactory, SimDuration, SimTime};
 use gt_social::{Twitch, TwitterSnapshot, YouTube};
+use gt_store::{StoreDecode, StoreEncode};
 use gt_web::host::BenignSiteSpec;
 use gt_web::WebHost;
 
 /// The complete generated world: every observable surface the paper's
 /// pipeline consumed, plus ground truth for scoring.
+#[derive(StoreEncode, StoreDecode)]
 pub struct World {
     pub config: WorldConfig,
     pub twitter: TwitterSnapshot,
@@ -39,6 +41,28 @@ pub struct World {
 }
 
 impl World {
+    /// Content fingerprint of a config — the address a generated
+    /// world's snapshot is stored under. Generation is deterministic in
+    /// the config, so the config digest identifies the world.
+    pub fn fingerprint(config: &WorldConfig) -> gt_store::Digest {
+        let mut kb = gt_store::KeyBuilder::new("world");
+        kb.push_encoded(config);
+        kb.finish()
+    }
+
+    /// This world's canonical snapshot bytes (a pure function of the
+    /// world's logical state; lazily built acceleration structures are
+    /// excluded and rebuilt on restore).
+    pub fn snapshot(&self) -> Vec<u8> {
+        gt_store::encode_to_vec(self)
+    }
+
+    /// Restore a world from snapshot bytes. `None` on any decode
+    /// failure — callers fall back to regeneration.
+    pub fn from_snapshot(bytes: &[u8]) -> Option<World> {
+        gt_store::decode_from_slice(bytes).ok()
+    }
+
     /// Generate a world. Deterministic in `config.seed`.
     pub fn generate(config: WorldConfig) -> World {
         let factory = RngFactory::new(config.seed);
@@ -336,6 +360,29 @@ mod tests {
         // Mostly unlabeled destinations.
         let labeled: usize = w.youtube_cashout.by_category.values().sum();
         assert!(labeled < w.youtube_cashout.recipients / 2);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let w = world();
+        let bytes = w.snapshot();
+        let restored = World::from_snapshot(&bytes).expect("snapshot decodes");
+        assert_eq!(restored.chains.total_tx_count(), w.chains.total_tx_count());
+        assert_eq!(restored.truth.payments.len(), w.truth.payments.len());
+        assert_eq!(restored.config.seed, w.config.seed);
+        // Canonical: re-encoding the restored world reproduces the bytes.
+        assert_eq!(restored.snapshot(), bytes);
+        // Garbage is a decode failure, not a panic.
+        assert!(World::from_snapshot(&bytes[..bytes.len() / 2]).is_none());
+    }
+
+    #[test]
+    fn fingerprint_tracks_the_config() {
+        let a = WorldConfig::test_small();
+        let mut b = WorldConfig::test_small();
+        assert_eq!(World::fingerprint(&a), World::fingerprint(&a));
+        b.seed ^= 1;
+        assert_ne!(World::fingerprint(&a), World::fingerprint(&b));
     }
 
     #[test]

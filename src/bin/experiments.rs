@@ -6,10 +6,20 @@
 //! cargo run --release --bin experiments -- --scale 1.0 \
 //!     --markdown EXPERIMENTS.md --json target/experiments.json
 //! ```
+//!
+//! With `--store DIR` the run is checkpointed: the generated world and
+//! every completed stage land in a content-addressed [`RunStore`], so a
+//! killed run resumes where it stopped and a re-run with identical
+//! parameters replays from cache. `--evict` prunes entries other
+//! configurations left behind; `--resume` makes "continue a previous
+//! run" explicit by refusing to start cold.
 
-use givetake::core::Pipeline;
+use givetake::core::{Pipeline, PipelineOptions};
 use givetake::world::{World, WorldConfig};
+use gt_store::RunStore;
 use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
 
 struct Args {
     scale: f64,
@@ -18,9 +28,16 @@ struct Args {
     chaos: Option<u64>,
     markdown: Option<String>,
     json: Option<String>,
-    artifacts: Option<String>,
+    out_dir: Option<String>,
     trace: Option<String>,
+    store: Option<String>,
+    resume: bool,
+    evict: bool,
 }
+
+const USAGE: &str = "usage: experiments [--scale F] [--seed N] [--threads N] [--chaos SEED] \
+     [--markdown PATH] [--json PATH] [--out-dir DIR] [--trace PATH] \
+     [--store DIR] [--resume] [--evict]";
 
 fn parse_args() -> Args {
     let mut args = Args {
@@ -30,8 +47,11 @@ fn parse_args() -> Args {
         chaos: None,
         markdown: None,
         json: None,
-        artifacts: None,
+        out_dir: None,
         trace: None,
+        store: None,
+        resume: false,
+        evict: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -78,16 +98,49 @@ fn parse_args() -> Args {
             }
             "--markdown" => args.markdown = it.next(),
             "--json" => args.json = it.next(),
-            "--artifacts" => args.artifacts = it.next(),
+            // `--artifacts` predates `--out-dir`; kept as an alias.
+            "--out-dir" | "--artifacts" => args.out_dir = it.next(),
             "--trace" => args.trace = it.next(),
+            "--store" => args.store = it.next(),
+            "--resume" => args.resume = true,
+            "--evict" => args.evict = true,
             other => {
                 eprintln!("unknown flag {other}");
-                eprintln!("usage: experiments [--scale F] [--seed N] [--threads N] [--chaos SEED] [--markdown PATH] [--json PATH] [--artifacts DIR] [--trace PATH]");
+                eprintln!("{USAGE}");
                 std::process::exit(2);
             }
         }
     }
+    if args.store.is_none() && (args.resume || args.evict) {
+        eprintln!("error: --resume and --evict require --store DIR");
+        std::process::exit(2);
+    }
     args
+}
+
+/// Report a fatal IO problem and exit nonzero (the harness never
+/// panics on bad paths or full disks — it says what failed and where).
+fn fail(context: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("error: {context}: {err}");
+    std::process::exit(1);
+}
+
+/// Write an output file, creating its parent directories if missing.
+fn write_output(path: &str, bytes: &[u8], what: &str) {
+    let p = Path::new(path);
+    if let Some(parent) = p.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                fail(
+                    &format!("create directory {} for {what}", parent.display()),
+                    e,
+                );
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(p, bytes) {
+        fail(&format!("write {what} {path}"), e);
+    }
 }
 
 fn main() {
@@ -101,12 +154,62 @@ fn main() {
         config.seed = seed;
     }
 
+    let store = args.store.as_ref().map(|dir| match RunStore::open(dir) {
+        Ok(s) => Arc::new(s),
+        Err(e) => fail(&format!("open store {dir}"), e),
+    });
+
+    let mut options = PipelineOptions::default().threads(args.threads);
+    if let Some(chaos_seed) = args.chaos {
+        options = options.chaos(chaos_seed, &givetake::sim::faults::ChaosProfile::default());
+    }
+    options = options.store(store.clone());
+
+    let world_fpr = World::fingerprint(&config);
+    let base_fpr = options.base_fingerprint(&config);
+    if args.resume {
+        // Explicit resume: refuse to silently start a 6-month campaign
+        // from scratch because the directory or parameters are wrong.
+        let store = store.as_ref().expect("checked in parse_args");
+        let cached = store.stage_entry_count(&base_fpr);
+        if cached == 0 && store.load_world(&world_fpr).is_none() {
+            eprintln!(
+                "error: --resume: no checkpoint for this configuration in {} \
+                 (wrong --store dir, or --scale/--seed/--chaos changed?)",
+                args.store.as_deref().unwrap_or("")
+            );
+            std::process::exit(1);
+        }
+        eprintln!("resuming: {cached} cached stage entries found");
+    }
+
     let t0 = std::time::Instant::now();
-    eprintln!(
-        "[1/2] generating world (scale {}, seed {:#x}) ...",
-        args.scale, config.seed
-    );
-    let world = World::generate(config);
+    let snapshot = store.as_ref().and_then(|s| s.load_world(&world_fpr));
+    let world = match snapshot.as_deref().and_then(World::from_snapshot) {
+        Some(world) => {
+            eprintln!(
+                "[1/2] loaded world snapshot (scale {}, seed {:#x}, {:.1}s)",
+                args.scale,
+                world.config.seed,
+                t0.elapsed().as_secs_f64()
+            );
+            world
+        }
+        None => {
+            eprintln!(
+                "[1/2] generating world (scale {}, seed {:#x}) ...",
+                args.scale, config.seed
+            );
+            let world = World::generate(config);
+            if let Some(store) = &store {
+                if let Err(e) = store.store_world(&world_fpr, &world.snapshot()) {
+                    // Never fatal: the run proceeds, the next one regenerates.
+                    eprintln!("warning: world snapshot not saved: {e}");
+                }
+            }
+            world
+        }
+    };
     eprintln!(
         "      {} tweets, {} streams, {} chain txs ({:.1}s)",
         world.twitter.len(),
@@ -117,12 +220,13 @@ fn main() {
 
     let t1 = std::time::Instant::now();
     eprintln!("[2/2] running the measurement pipeline ...");
-    let mut pipeline = Pipeline::new(&world).threads(args.threads);
-    if let Some(chaos_seed) = args.chaos {
-        eprintln!("      injecting faults (chaos seed {chaos_seed:#x})");
-        pipeline = pipeline.chaos(chaos_seed, &givetake::sim::faults::ChaosProfile::default());
+    if args.chaos.is_some() {
+        eprintln!(
+            "      injecting faults (chaos seed {:#x})",
+            args.chaos.unwrap_or_default()
+        );
     }
-    let run = pipeline.run();
+    let run = Pipeline::new(&world).options(options).run();
     eprintln!(
         "      done ({:.1}s, {} worker threads, {} stages)",
         t1.elapsed().as_secs_f64(),
@@ -147,9 +251,29 @@ fn main() {
             run.telemetry.wall.total_ms / 1_000.0
         );
     }
+    if let Some(store) = &store {
+        let sum = |metric: &str| -> u64 {
+            run.telemetry
+                .metrics
+                .iter()
+                .filter(|m| m.substrate == "store" && m.metric == metric)
+                .map(|m| m.value)
+                .sum()
+        };
+        eprintln!(
+            "      store: {} stage cache hits, {} misses, {} entries on disk",
+            sum("cache_hit"),
+            sum("cache_miss"),
+            store.stage_entry_count(&base_fpr),
+        );
+    }
 
     if let Some(path) = &args.trace {
-        std::fs::write(path, run.telemetry.chrome_trace_json()).expect("write trace file");
+        write_output(
+            path,
+            run.telemetry.chrome_trace_json().as_bytes(),
+            "trace file",
+        );
         eprintln!("wrote {path} (chrome://tracing / Perfetto format)");
     }
 
@@ -167,147 +291,169 @@ fn main() {
             "degradation": run.degradation,
             "telemetry": run.telemetry,
         });
-        std::fs::write(path, serde_json::to_string_pretty(&json).unwrap())
-            .expect("write json report");
+        let pretty = match serde_json::to_string_pretty(&json) {
+            Ok(s) => s,
+            Err(e) => fail("serialize json report", e),
+        };
+        write_output(path, pretty.as_bytes(), "json report");
         eprintln!("wrote {path}");
     }
 
     if let Some(path) = &args.markdown {
-        let mut md = String::new();
-        let _ = writeln!(md, "# EXPERIMENTS — paper vs measured\n");
-        let _ = writeln!(
-            md,
-            "Generated by `cargo run --release --bin experiments -- --scale {}`\n\
-             (seed `{:#x}`). Counts and revenue are compared against the paper\n\
-             value multiplied by the scale factor; rates and ratios compare\n\
-             directly. Exact equality is not expected — the substrate is a\n\
-             calibrated simulator — the acceptance bar is direction, ratio\n\
-             structure, and order of magnitude (see DESIGN.md).\n",
-            args.scale, world.config.seed
-        );
-        let _ = writeln!(md, "```text\n{}```\n", table);
-        let _ = writeln!(md, "## Weekly series\n");
-        let _ = writeln!(
-            md,
-            "Figure 3 (scam tweets/week):  `{}`\n",
-            run.report.twitter_weekly.sparkline()
-        );
-        let _ = writeln!(
-            md,
-            "Figure 4 (scam streams/week): `{}`\n",
-            run.report.youtube_weekly.sparkline()
-        );
-        let _ = writeln!(md, "## Figure 5 — top search keywords by credit\n");
-        let _ = writeln!(md, "| keyword | credit |");
-        let _ = writeln!(md, "|---|---|");
-        for (kw, credit) in run.report.fig5.credits.iter().take(20) {
-            let _ = writeln!(md, "| {kw} | {credit:.1} |");
-        }
-        let _ = writeln!(
-            md,
-            "\n{} of {} returned streams contained a search keyword; among the\n\
-             keyword-less remainder, {} of {} looked non-English.\n",
-            run.report.fig5.with_keyword,
-            run.report.fig5.streams,
-            run.report.fig5.keywordless_non_english,
-            run.report.fig5.keywordless
-        );
-        let _ = writeln!(
-            md,
-            "## Exchange block-list intervention (Section 6.2 extension)\n"
-        );
-        let _ = writeln!(
-            md,
-            "If exchanges refused transfers to a scam address N after its first\n\
-             observed payment, the preventable share of victim revenue would be:\n"
-        );
-        let _ = writeln!(
-            md,
-            "| detection lag | payments blocked | USD prevented | share |"
-        );
-        let _ = writeln!(md, "|---|---|---|---|");
-        for o in &run.report.interventions {
-            let _ = writeln!(
-                md,
-                "| {} | {} / {} | ${:.0} | {:.1}% |",
-                if o.lag_seconds == 0 {
-                    "instant".to_string()
-                } else {
-                    format!("{}h", o.lag_seconds / 3600)
-                },
-                o.blocked,
-                o.payments,
-                o.prevented_usd,
-                o.prevented_fraction() * 100.0
-            );
-        }
-        let _ = writeln!(md);
-        let _ = writeln!(md, "## Cash-out categories (Section 5.5)\n");
-        let _ = writeln!(md, "| category | recipients |");
-        let _ = writeln!(md, "|---|---|");
-        for (cat, n) in &run.report.outgoing.by_category {
-            let _ = writeln!(md, "| {cat} | {n} |");
-        }
-        let _ = writeln!(md, "| (unlabeled) | {} |", run.report.outgoing.unlabeled);
-
-        // Multi-hop flow tracing (the Phillips & Wilder analysis the
-        // paper cites as future work).
-        let clustering = givetake::cluster::ClusterView::build(&world.chains.btc);
-        let tags = world.tags.resolver(&clustering);
-        let sources: Vec<givetake::addr::Address> = run
-            .twitter_analysis
-            .victim_payments()
-            .chain(run.youtube_analysis.victim_payments())
-            .map(|p| p.transfer.recipient)
-            .collect::<std::collections::HashSet<_>>()
-            .into_iter()
-            .collect();
-        let _ = writeln!(md, "\n## Multi-hop flow tracing (future-work extension)\n");
-        let _ = writeln!(
-            md,
-            "Exchange exposure of scam proceeds by trace depth (the paper's\n\
-             direct-edge view is depth 1; \"more advanced blockchain analysis\"\n\
-             follows the intermediaries):\n"
-        );
-        let _ = writeln!(
-            md,
-            "| depth | exchange share of traced value | addresses visited |"
-        );
-        let _ = writeln!(md, "|---|---|---|");
-        for depth in [1usize, 2, 3, 4] {
-            let exposure = givetake::cluster::aggregate_exposure(
-                &sources,
-                &world.chains,
-                &tags,
-                &clustering,
-                depth,
-            );
-            let _ = writeln!(
-                md,
-                "| {depth} | {:.1}% | {} |",
-                exposure.share(givetake::cluster::Category::Exchange) * 100.0,
-                exposure.visited
-            );
-        }
-        std::fs::write(path, md).expect("write markdown report");
+        let md = render_markdown(&args, &world, &run);
+        write_output(path, md.as_bytes(), "markdown report");
         eprintln!("wrote {path}");
     }
 
-    if let Some(dir) = &args.artifacts {
+    if let Some(dir) = &args.out_dir {
         write_artifacts(&world, dir);
     }
+
+    if args.evict {
+        let store = store.as_ref().expect("checked in parse_args");
+        match store.evict(&base_fpr, &world_fpr) {
+            Ok(stats) => eprintln!(
+                "evicted {} stale stage groups, {} world snapshots, {} temp files",
+                stats.stage_groups, stats.worlds, stats.temp_files
+            ),
+            Err(e) => fail("evict store entries", e),
+        }
+    }
+}
+
+fn render_markdown(args: &Args, world: &World, run: &givetake::core::PaperRun) -> String {
+    let table = run.report.render_comparison(args.scale);
+    let mut md = String::new();
+    let _ = writeln!(md, "# EXPERIMENTS — paper vs measured\n");
+    let _ = writeln!(
+        md,
+        "Generated by `cargo run --release --bin experiments -- --scale {}`\n\
+         (seed `{:#x}`). Counts and revenue are compared against the paper\n\
+         value multiplied by the scale factor; rates and ratios compare\n\
+         directly. Exact equality is not expected — the substrate is a\n\
+         calibrated simulator — the acceptance bar is direction, ratio\n\
+         structure, and order of magnitude (see DESIGN.md).\n",
+        args.scale, world.config.seed
+    );
+    let _ = writeln!(md, "```text\n{}```\n", table);
+    let _ = writeln!(md, "## Weekly series\n");
+    let _ = writeln!(
+        md,
+        "Figure 3 (scam tweets/week):  `{}`\n",
+        run.report.twitter_weekly.sparkline()
+    );
+    let _ = writeln!(
+        md,
+        "Figure 4 (scam streams/week): `{}`\n",
+        run.report.youtube_weekly.sparkline()
+    );
+    let _ = writeln!(md, "## Figure 5 — top search keywords by credit\n");
+    let _ = writeln!(md, "| keyword | credit |");
+    let _ = writeln!(md, "|---|---|");
+    for (kw, credit) in run.report.fig5.credits.iter().take(20) {
+        let _ = writeln!(md, "| {kw} | {credit:.1} |");
+    }
+    let _ = writeln!(
+        md,
+        "\n{} of {} returned streams contained a search keyword; among the\n\
+         keyword-less remainder, {} of {} looked non-English.\n",
+        run.report.fig5.with_keyword,
+        run.report.fig5.streams,
+        run.report.fig5.keywordless_non_english,
+        run.report.fig5.keywordless
+    );
+    let _ = writeln!(
+        md,
+        "## Exchange block-list intervention (Section 6.2 extension)\n"
+    );
+    let _ = writeln!(
+        md,
+        "If exchanges refused transfers to a scam address N after its first\n\
+         observed payment, the preventable share of victim revenue would be:\n"
+    );
+    let _ = writeln!(
+        md,
+        "| detection lag | payments blocked | USD prevented | share |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|");
+    for o in &run.report.interventions {
+        let _ = writeln!(
+            md,
+            "| {} | {} / {} | ${:.0} | {:.1}% |",
+            if o.lag_seconds == 0 {
+                "instant".to_string()
+            } else {
+                format!("{}h", o.lag_seconds / 3600)
+            },
+            o.blocked,
+            o.payments,
+            o.prevented_usd,
+            o.prevented_fraction() * 100.0
+        );
+    }
+    let _ = writeln!(md);
+    let _ = writeln!(md, "## Cash-out categories (Section 5.5)\n");
+    let _ = writeln!(md, "| category | recipients |");
+    let _ = writeln!(md, "|---|---|");
+    for (cat, n) in &run.report.outgoing.by_category {
+        let _ = writeln!(md, "| {cat} | {n} |");
+    }
+    let _ = writeln!(md, "| (unlabeled) | {} |", run.report.outgoing.unlabeled);
+
+    // Multi-hop flow tracing (the Phillips & Wilder analysis the
+    // paper cites as future work).
+    let clustering = givetake::cluster::ClusterView::build(&world.chains.btc);
+    let tags = world.tags.resolver(&clustering);
+    let sources: Vec<givetake::addr::Address> = run
+        .twitter_analysis
+        .victim_payments()
+        .chain(run.youtube_analysis.victim_payments())
+        .map(|p| p.transfer.recipient)
+        .collect::<std::collections::HashSet<_>>()
+        .into_iter()
+        .collect();
+    let _ = writeln!(md, "\n## Multi-hop flow tracing (future-work extension)\n");
+    let _ = writeln!(
+        md,
+        "Exchange exposure of scam proceeds by trace depth (the paper's\n\
+         direct-edge view is depth 1; \"more advanced blockchain analysis\"\n\
+         follows the intermediaries):\n"
+    );
+    let _ = writeln!(
+        md,
+        "| depth | exchange share of traced value | addresses visited |"
+    );
+    let _ = writeln!(md, "|---|---|---|");
+    for depth in [1usize, 2, 3, 4] {
+        let exposure = givetake::cluster::aggregate_exposure(
+            &sources,
+            &world.chains,
+            &tags,
+            &clustering,
+            depth,
+        );
+        let _ = writeln!(
+            md,
+            "| {depth} | {:.1}% | {} |",
+            exposure.share(givetake::cluster::Category::Exchange) * 100.0,
+            exposure.visited
+        );
+    }
+    md
 }
 
 /// Emit the Figure 1 / Figure 2 artifacts: example landing pages and a
 /// livestream video frame with its QR overlay (as a PGM image).
 fn write_artifacts(world: &World, dir: &str) {
-    std::fs::create_dir_all(dir).expect("create artifacts dir");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        fail(&format!("create output directory {dir}"), e);
+    }
 
     // Figure 1: two example landing pages (Twitter-promoted domains).
     for (i, domain) in world.truth.twitter_domains.iter().take(2).enumerate() {
         let html = givetake::world::sites::landing_html(&domain.persona, &domain.addresses);
         let path = format!("{dir}/figure1_landing_{}.html", i + 1);
-        std::fs::write(&path, html).expect("write landing page");
+        write_output(&path, html.as_bytes(), "landing page");
         eprintln!("wrote {path} ({})", domain.domain);
     }
 
@@ -332,7 +478,7 @@ fn write_artifacts(world: &World, dir: &str) {
                 pgm.push_str(&row.join(" "));
                 pgm.push('\n');
             }
-            std::fs::write(&path, pgm).expect("write frame");
+            write_output(&path, pgm.as_bytes(), "stream frame");
             eprintln!("wrote {path} ({})", stream.title);
             break;
         }

@@ -38,6 +38,7 @@ pub use gt_price as price;
 pub use gt_qr as qr;
 pub use gt_sim as sim;
 pub use gt_social as social;
+pub use gt_store as store;
 pub use gt_stream as stream;
 pub use gt_text as text;
 pub use gt_web as web;

@@ -1,0 +1,237 @@
+//! Checkpoint/resume pins: the stage-result store must never change
+//! what the pipeline computes — only whether it recomputes. The
+//! `PaperReport` JSON must be byte-identical across {no store, cold
+//! store, warm store, resumed-after-kill} and across thread counts
+//! sharing one store directory; a killed run must resume from its
+//! completed stages instead of starting over.
+
+use givetake::core::{PaperRun, Pipeline};
+use givetake::store::RunStore;
+use givetake::world::{World, WorldConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+const STAGES: u64 = 25;
+
+fn world() -> &'static World {
+    static W: OnceLock<World> = OnceLock::new();
+    W.get_or_init(|| {
+        let mut config = WorldConfig::scaled(0.03);
+        config.seed = 0x5709_CAFE;
+        World::generate(config)
+    })
+}
+
+fn baseline_json() -> &'static str {
+    static J: OnceLock<String> = OnceLock::new();
+    J.get_or_init(|| {
+        let run = Pipeline::new(world()).threads(1).run();
+        serde_json::to_string(&run.report).expect("report serializes")
+    })
+}
+
+fn json(run: &PaperRun) -> String {
+    serde_json::to_string(&run.report).expect("report serializes")
+}
+
+/// Sum of one store counter across all stages.
+fn store_metric(run: &PaperRun, metric: &str) -> u64 {
+    run.telemetry
+        .metrics
+        .iter()
+        .filter(|m| m.substrate == "store" && m.metric == metric)
+        .map(|m| m.value)
+        .sum()
+}
+
+/// A fresh scratch directory (removed on drop) for one test's store.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("gt-store-it-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+
+    fn open(&self) -> Arc<RunStore> {
+        Arc::new(RunStore::open(&self.0).expect("store opens"))
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn cold_and_warm_runs_match_the_storeless_report() {
+    let scratch = Scratch::new("cold-warm");
+    let store = scratch.open();
+
+    let cold = Pipeline::new(world())
+        .threads(1)
+        .store(Some(store.clone()))
+        .run();
+    assert_eq!(json(&cold), baseline_json(), "cold-store report diverged");
+    assert_eq!(store_metric(&cold, "cache_hit"), 0);
+    assert_eq!(store_metric(&cold, "cache_miss"), STAGES);
+
+    let warm = Pipeline::new(world()).threads(1).store(Some(store)).run();
+    assert_eq!(json(&warm), baseline_json(), "warm-store report diverged");
+    assert_eq!(
+        store_metric(&warm, "cache_hit"),
+        STAGES,
+        "a warm identical run must hit on every stage"
+    );
+    assert_eq!(store_metric(&warm, "cache_miss"), 0);
+}
+
+#[test]
+fn thread_counts_share_one_store_directory() {
+    // Keys are a pure function of sim state, so a 1-thread run's
+    // entries serve 2- and 4-thread runs (and vice versa) — the
+    // interchangeability that makes the store safe under `--threads`.
+    let scratch = Scratch::new("threads");
+    let store = scratch.open();
+
+    for (i, threads) in [1usize, 2, 4].into_iter().enumerate() {
+        let run = Pipeline::new(world())
+            .threads(threads)
+            .store(Some(store.clone()))
+            .run();
+        assert_eq!(
+            json(&run),
+            baseline_json(),
+            "{threads}-thread stored report diverged"
+        );
+        let expected_hits = if i == 0 { 0 } else { STAGES };
+        assert_eq!(
+            store_metric(&run, "cache_hit"),
+            expected_hits,
+            "{threads}-thread run should {} the shared entries",
+            if i == 0 { "populate" } else { "reuse" }
+        );
+    }
+}
+
+#[test]
+fn killed_run_resumes_from_completed_stages() {
+    let scratch = Scratch::new("kill-resume");
+
+    // Let 6 stage writes complete, then die mid-write — the store
+    // panics like a `kill -9` would leave the process: some entries
+    // durable, one torn temp file, nothing else.
+    let store = scratch.open();
+    store.fail_writes_after(6);
+    let crashed = catch_unwind(AssertUnwindSafe(|| {
+        Pipeline::new(world())
+            .threads(1)
+            .store(Some(store.clone()))
+            .run()
+    }));
+    assert!(crashed.is_err(), "the simulated crash must abort the run");
+    drop(store);
+
+    // A new process: reopen the same directory and rerun. Only the
+    // unfinished stages may execute.
+    let store = scratch.open();
+    let resumed = Pipeline::new(world()).threads(2).store(Some(store)).run();
+    assert_eq!(
+        json(&resumed),
+        baseline_json(),
+        "resumed report diverged from an uninterrupted run"
+    );
+    assert_eq!(
+        store_metric(&resumed, "cache_hit"),
+        6,
+        "every entry the crashed run completed must be reused"
+    );
+    assert_eq!(store_metric(&resumed, "cache_miss"), STAGES - 6);
+}
+
+#[test]
+fn multi_thread_crash_also_resumes() {
+    // The simulated-crash panic fires inside a pool worker; it must
+    // poison the run (not deadlock) and still leave a resumable store.
+    let scratch = Scratch::new("kill-resume-mt");
+    let store = scratch.open();
+    store.fail_writes_after(4);
+    let crashed = catch_unwind(AssertUnwindSafe(|| {
+        Pipeline::new(world())
+            .threads(4)
+            .store(Some(store.clone()))
+            .run()
+    }));
+    assert!(crashed.is_err());
+    drop(store);
+
+    let store = scratch.open();
+    let resumed = Pipeline::new(world()).threads(4).store(Some(store)).run();
+    assert_eq!(json(&resumed), baseline_json());
+    assert_eq!(store_metric(&resumed, "cache_hit"), 4);
+}
+
+#[test]
+fn changed_tail_parameter_reuses_all_upstream_stages() {
+    let scratch = Scratch::new("warm-tail");
+    let store = scratch.open();
+
+    let cold = Pipeline::new(world())
+        .threads(2)
+        .store(Some(store.clone()))
+        .run();
+    assert_eq!(store_metric(&cold, "cache_miss"), STAGES);
+
+    // Change only the intervention lags: a stage-local salt, invisible
+    // to every other stage. The warm run must recompute exactly one
+    // stage and replay the other 24 from the store.
+    let lags = [
+        givetake::sim::SimDuration::ZERO,
+        givetake::sim::SimDuration::hours(2),
+    ];
+    let warm = Pipeline::new(world())
+        .threads(2)
+        .store(Some(store))
+        .intervention_lags(&lags)
+        .run();
+    assert_eq!(store_metric(&warm, "cache_hit"), STAGES - 1);
+    assert_eq!(store_metric(&warm, "cache_miss"), 1);
+    assert_eq!(warm.report.interventions.len(), 2, "new lags took effect");
+
+    // Everything upstream of the sweep is identical.
+    assert_eq!(warm.report.table1, cold.report.table1);
+    assert_eq!(warm.report.twitter_funnel, cold.report.twitter_funnel);
+    assert_eq!(warm.report.youtube_funnel, cold.report.youtube_funnel);
+    assert_eq!(warm.report.origins, cold.report.origins);
+    assert_eq!(warm.report.recipients, cold.report.recipients);
+    assert_eq!(warm.report.outgoing, cold.report.outgoing);
+}
+
+#[test]
+fn store_off_on_and_evict_leave_no_trace_in_the_report() {
+    // Interleave storeless and stored runs and an evict; the report
+    // never wavers and eviction keeps the active run servable.
+    let scratch = Scratch::new("evict");
+    let store = scratch.open();
+    let options = givetake::core::PipelineOptions::default().threads(2);
+    let base = options.base_fingerprint(&world().config);
+    let world_fpr = World::fingerprint(&world().config);
+
+    let cold = Pipeline::new(world())
+        .threads(2)
+        .store(Some(store.clone()))
+        .run();
+    assert_eq!(json(&cold), baseline_json());
+    assert_eq!(store.stage_entry_count(&base), STAGES as usize);
+
+    let stats = store.evict(&base, &world_fpr).expect("evict succeeds");
+    assert_eq!(stats.stage_groups, 0, "the active run's group survives");
+    assert_eq!(store.stage_entry_count(&base), STAGES as usize);
+
+    let warm = Pipeline::new(world()).threads(2).store(Some(store)).run();
+    assert_eq!(json(&warm), baseline_json());
+    assert_eq!(store_metric(&warm, "cache_hit"), STAGES);
+}
