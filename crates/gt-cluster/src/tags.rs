@@ -151,6 +151,15 @@ pub struct TagResolver {
 }
 
 impl TagResolver {
+    /// A resolver that knows no tags: every category lookup is `None`.
+    /// The quarantine-fallback companion of [`ClusterView::empty`].
+    pub fn empty() -> Self {
+        TagResolver {
+            direct: HashMap::new(),
+            cluster_tags: HashMap::new(),
+        }
+    }
+
     /// Direct lookup, no cluster propagation.
     pub fn category_direct(&self, address: Address) -> Option<Category> {
         self.direct.get(&address).copied()

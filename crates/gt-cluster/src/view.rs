@@ -38,6 +38,18 @@ pub struct ClusterView {
 }
 
 impl ClusterView {
+    /// A view over no transactions at all: every lookup misses. Used as
+    /// the quarantine fallback for the chain-analysis stage — degraded
+    /// runs resolve no clusters instead of aborting.
+    pub fn empty() -> Self {
+        ClusterView {
+            indices: HashMap::new(),
+            ids: Vec::new(),
+            sizes: Vec::new(),
+            skipped_coinjoins: 0,
+        }
+    }
+
     /// Serial build with default options.
     pub fn build(ledger: &BtcLedger) -> Self {
         Self::build_with(ledger, ClusteringOptions::default())

@@ -17,7 +17,7 @@ const COIN_TAGS: [(&str, &[&str]); 3] = [
 
 /// Per-coin reference rates among lures. Rates can sum past 1.0 since a
 /// lure can reference several coins.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct CoinRates {
     pub lures: usize,
     /// (coin name, fraction of lures referencing it), sorted descending.

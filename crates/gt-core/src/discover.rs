@@ -9,7 +9,9 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Twitter tactics: how scam tweets reach audiences.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize, StoreEncode, StoreDecode,
+)]
 pub struct TwitterDiscoverability {
     pub tweets: usize,
     /// Fraction carrying at least one hashtag.
@@ -54,7 +56,9 @@ pub fn twitter_discoverability(
 }
 
 /// YouTube audience statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize, StoreEncode, StoreDecode,
+)]
 pub struct YouTubeDiscoverability {
     pub streams: usize,
     /// Median subscribers across scam-hosting channels.

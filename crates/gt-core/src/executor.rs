@@ -10,7 +10,21 @@
 //! function of its dependencies' outputs, and the scheduler only decides
 //! *when* a stage runs, not *what* it sees. The end-to-end determinism
 //! test (`tests/determinism.rs`) pins this down.
+//!
+//! # Supervision
+//!
+//! By default a panicking stage poisons the run and the payload is
+//! re-raised on the caller (strict mode). Under a recovering
+//! [`SupervisionPolicy`] ([`StageGraph::supervise`]) the worker instead
+//! retries the stage in place — re-probing any bound store first, so a
+//! crash-and-retry resumes from the last persisted upstream outputs —
+//! and, once attempts are exhausted, *quarantines* it: the stage's
+//! declared [`fallback`](StageGraph::fallback) output is substituted,
+//! every transitive dependent is marked tainted, and the run completes
+//! with a [`GraphHealth`] timeline instead of aborting. Stages without
+//! a fallback still poison the run when exhausted.
 
+use crate::supervisor::{GraphHealth, StageHealth, StageStatus, SupervisionPolicy};
 use gt_obs::MetricsRegistry;
 use gt_store::{digest, Digest, KeyBuilder, RunStore, StoreDecode, StoreEncode};
 use serde::Serialize;
@@ -18,11 +32,13 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 type BoxedAny = Box<dyn Any + Send + Sync>;
-type StageFn<'env> = Box<dyn FnOnce(&StageResults) -> (BoxedAny, u64) + Send + 'env>;
+type StageFn<'env> = Box<dyn FnMut(&StageResults) -> (BoxedAny, u64) + Send + 'env>;
+type FallbackFn<'env> = Box<dyn FnOnce(&StageResults) -> (BoxedAny, u64) + Send + 'env>;
 type EncodeFn = Box<dyn Fn(&BoxedAny, u64) -> Vec<u8> + Send + Sync>;
 type DecodeFn = Box<dyn Fn(&[u8]) -> Option<(BoxedAny, u64)> + Send + Sync>;
 
@@ -118,6 +134,10 @@ struct Stage<'env> {
     name: String,
     deps: Vec<usize>,
     run: Mutex<Option<StageFn<'env>>>,
+    /// Degraded substitute output used when the stage is quarantined
+    /// under a recovering policy; without one the stage poisons the run
+    /// once its attempts are exhausted.
+    fallback: Mutex<Option<FallbackFn<'env>>>,
     /// Present for stages registered through `add_cached_stage*`;
     /// ignored unless a store is bound.
     codec: Option<StageCodec>,
@@ -132,6 +152,7 @@ struct Stage<'env> {
 pub struct StageGraph<'env> {
     stages: Vec<Stage<'env>>,
     store: Option<StoreBinding>,
+    policy: SupervisionPolicy,
 }
 
 impl<'env> StageGraph<'env> {
@@ -139,6 +160,7 @@ impl<'env> StageGraph<'env> {
         StageGraph {
             stages: Vec::new(),
             store: None,
+            policy: SupervisionPolicy::default(),
         }
     }
 
@@ -150,14 +172,22 @@ impl<'env> StageGraph<'env> {
         self.store = Some(StoreBinding { store, base });
     }
 
+    /// Set the supervision policy for the run. The default is
+    /// [`SupervisionPolicy::strict`]: no retries, no fallbacks, the
+    /// first stage panic poisons the run.
+    pub fn supervise(&mut self, policy: SupervisionPolicy) {
+        self.policy = policy;
+    }
+
     /// Register a stage. `deps` are indices of previously registered
     /// stages ([`StageId::index`]); the body receives read access to
     /// their outputs and returns its own.
     pub fn add_stage<T, F>(&mut self, name: &str, deps: &[usize], f: F) -> StageId<T>
     where
         T: Send + Sync + 'static,
-        F: FnOnce(&StageResults) -> T + Send + 'env,
+        F: FnMut(&StageResults) -> T + Send + 'env,
     {
+        let mut f = f;
         self.add_stage_with_items(name, deps, move |r| (f(r), 0))
     }
 
@@ -166,7 +196,7 @@ impl<'env> StageGraph<'env> {
     pub fn add_stage_with_items<T, F>(&mut self, name: &str, deps: &[usize], f: F) -> StageId<T>
     where
         T: Send + Sync + 'static,
-        F: FnOnce(&StageResults) -> (T, u64) + Send + 'env,
+        F: FnMut(&StageResults) -> (T, u64) + Send + 'env,
     {
         self.push_stage(name, deps, f, None, Vec::new())
     }
@@ -185,8 +215,9 @@ impl<'env> StageGraph<'env> {
     ) -> StageId<T>
     where
         T: StoreEncode + StoreDecode + Send + Sync + 'static,
-        F: FnOnce(&StageResults) -> T + Send + 'env,
+        F: FnMut(&StageResults) -> T + Send + 'env,
     {
+        let mut f = f;
         self.add_cached_stage_with_items(name, salt, deps, move |r| (f(r), 0))
     }
 
@@ -202,7 +233,7 @@ impl<'env> StageGraph<'env> {
     ) -> StageId<T>
     where
         T: StoreEncode + StoreDecode + Send + Sync + 'static,
-        F: FnOnce(&StageResults) -> (T, u64) + Send + 'env,
+        F: FnMut(&StageResults) -> (T, u64) + Send + 'env,
     {
         let codec = StageCodec {
             encode: Box::new(|any, items| {
@@ -219,6 +250,20 @@ impl<'env> StageGraph<'env> {
         self.push_stage(name, deps, f, Some(codec), salt.to_vec())
     }
 
+    /// Declare a quarantine fallback for a registered stage: a degraded
+    /// substitute (empty, identity, or partial output) served in the
+    /// stage's place when a recovering policy exhausts its attempts.
+    /// The fallback sees the same completed dependencies the real body
+    /// would. Never invoked in strict mode or while retries remain.
+    pub fn fallback<T, F>(&mut self, id: StageId<T>, f: F)
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce(&StageResults) -> T + Send + 'env,
+    {
+        self.stages[id.index()].fallback =
+            Mutex::new(Some(Box::new(move |r| (Box::new(f(r)) as BoxedAny, 0))));
+    }
+
     fn push_stage<T, F>(
         &mut self,
         name: &str,
@@ -229,12 +274,13 @@ impl<'env> StageGraph<'env> {
     ) -> StageId<T>
     where
         T: Send + Sync + 'static,
-        F: FnOnce(&StageResults) -> (T, u64) + Send + 'env,
+        F: FnMut(&StageResults) -> (T, u64) + Send + 'env,
     {
         let index = self.stages.len();
         for &d in deps {
             assert!(d < index, "stage {name:?} depends on a later stage");
         }
+        let mut f = f;
         self.stages.push(Stage {
             name: name.to_string(),
             deps: deps.to_vec(),
@@ -242,6 +288,7 @@ impl<'env> StageGraph<'env> {
                 let (value, items) = f(r);
                 (Box::new(value) as BoxedAny, items)
             }))),
+            fallback: Mutex::new(None),
             codec,
             salt,
         });
@@ -261,7 +308,10 @@ impl<'env> StageGraph<'env> {
     /// stage body runs inside a wall-clock span named after the stage,
     /// and its item count lands on the `(stage, "executor", "items")`
     /// counter — recorded even when zero, so the metrics block covers
-    /// every stage deterministically.
+    /// every stage deterministically. Supervision events additionally
+    /// record `(stage, "supervisor", retry|recovered|quarantined)`
+    /// counters — only when they fire, so a clean run's metrics block
+    /// is byte-identical with or without supervision.
     pub fn run_observed(self, threads: usize, obs: &MetricsRegistry) -> StageOutputs {
         let threads = if threads == 0 {
             std::thread::available_parallelism()
@@ -288,8 +338,12 @@ impl<'env> StageGraph<'env> {
         // Content digests of cached stage payloads, set as each stage
         // completes (from the cached record on a hit, from the freshly
         // encoded payload on a miss) — dependents fold them into their
-        // own keys.
-        let digests: Vec<OnceLock<Digest>> = (0..n).map(|_| OnceLock::new()).collect();
+        // own keys. Mutexes, not OnceLocks: a quarantined stage must
+        // *overwrite* any digest a failed attempt already recorded with
+        // the digest of its fallback payload, otherwise dependents would
+        // persist degraded outputs under the keys of the real data.
+        let digests: Vec<Mutex<Option<Digest>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let records: Vec<OnceLock<StageRecord>> = (0..n).map(|_| OnceLock::new()).collect();
         let sched = Mutex::new(Sched {
             indegree,
             ready,
@@ -297,39 +351,27 @@ impl<'env> StageGraph<'env> {
         });
         let wake = Condvar::new();
         let poison: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
-        let stages = &self.stages;
-        let store = self.store.as_ref();
+        let ctx = WorkerCtx {
+            stages: &self.stages,
+            dependents: &dependents,
+            slots: &slots,
+            timings: &timings,
+            digests: &digests,
+            records: &records,
+            store: self.store.as_ref(),
+            sched: &sched,
+            wake: &wake,
+            poison: &poison,
+            obs,
+            policy: self.policy,
+        };
 
         if threads <= 1 || n <= 1 {
-            run_worker(
-                stages,
-                &dependents,
-                &slots,
-                &timings,
-                &digests,
-                store,
-                &sched,
-                &wake,
-                &poison,
-                obs,
-            );
+            run_worker(&ctx);
         } else {
             crossbeam::thread::scope(|scope| {
                 for _ in 0..threads.min(n) {
-                    scope.spawn(|_| {
-                        run_worker(
-                            stages,
-                            &dependents,
-                            &slots,
-                            &timings,
-                            &digests,
-                            store,
-                            &sched,
-                            &wake,
-                            &poison,
-                            obs,
-                        )
-                    });
+                    scope.spawn(|_| run_worker(&ctx));
                 }
             })
             .expect("executor worker crashed outside a stage body");
@@ -340,6 +382,18 @@ impl<'env> StageGraph<'env> {
         if let Some(payload) = poison.into_inner().unwrap() {
             resume_unwind(payload);
         }
+
+        let health = fold_health(
+            &self.stages,
+            records
+                .into_iter()
+                .map(|cell| {
+                    cell.into_inner()
+                        .expect("stage never ran (dependency cycle?)")
+                })
+                .collect(),
+            self.policy,
+        );
 
         StageOutputs {
             slots: slots.into_iter().map(|cell| cell.into_inner()).collect(),
@@ -354,6 +408,7 @@ impl<'env> StageGraph<'env> {
                     })
                     .collect(),
             },
+            health,
         }
     }
 }
@@ -364,40 +419,131 @@ struct Sched {
     remaining: usize,
 }
 
+/// Terminal supervision record for one stage, written exactly once by
+/// the worker that ran it.
+struct StageRecord {
+    attempts: u32,
+    status: StageStatus,
+    error: Option<String>,
+    cache_write_failed: bool,
+}
+
+/// Everything a worker needs, bundled so the loop and its helpers stay
+/// readable.
+struct WorkerCtx<'a, 'env> {
+    stages: &'a [Stage<'env>],
+    dependents: &'a [Vec<usize>],
+    slots: &'a [OnceLock<BoxedAny>],
+    timings: &'a [OnceLock<StageTiming>],
+    digests: &'a [Mutex<Option<Digest>>],
+    records: &'a [OnceLock<StageRecord>],
+    store: Option<&'a StoreBinding>,
+    sched: &'a Mutex<Sched>,
+    wake: &'a Condvar,
+    poison: &'a Mutex<Option<Box<dyn Any + Send>>>,
+    obs: &'a MetricsRegistry,
+    policy: SupervisionPolicy,
+}
+
+impl WorkerCtx<'_, '_> {
+    /// First panic wins; poison the run and wake every blocked worker
+    /// so the scope can unwind cleanly.
+    fn poison_run(&self, payload: Box<dyn Any + Send>) {
+        {
+            let mut p = self.poison.lock().unwrap();
+            if p.is_none() {
+                *p = Some(payload);
+            }
+        }
+        let mut s = self.sched.lock().unwrap();
+        s.remaining = 0;
+        s.ready.clear();
+        drop(s);
+        self.wake.notify_all();
+    }
+}
+
 /// The cache key for one stage, or `None` when any dependency has no
 /// recorded digest (it was registered without a codec), which makes the
 /// stage itself uncacheable.
 fn stage_key(
     binding: &StoreBinding,
     stage: &Stage<'_>,
-    digests: &[OnceLock<Digest>],
+    digests: &[Mutex<Option<Digest>>],
 ) -> Option<Digest> {
     let mut kb = KeyBuilder::new("stage");
     kb.push_digest(&binding.base);
     kb.push_str(&stage.name);
     kb.push_bytes(&stage.salt);
     for &d in &stage.deps {
-        kb.push_digest(digests[d].get()?);
+        let dep = (*digests[d].lock().unwrap())?;
+        kb.push_digest(&dep);
     }
     Some(kb.finish())
 }
 
-#[allow(clippy::too_many_arguments)] // internal worker-loop plumbing
-fn run_worker(
-    stages: &[Stage<'_>],
-    dependents: &[Vec<usize>],
-    slots: &[OnceLock<BoxedAny>],
-    timings: &[OnceLock<StageTiming>],
-    digests: &[OnceLock<Digest>],
-    store: Option<&StoreBinding>,
-    sched: &Mutex<Sched>,
-    wake: &Condvar,
-    poison: &Mutex<Option<Box<dyn Any + Send>>>,
-    obs: &MetricsRegistry,
-) {
+/// Render a panic payload as a one-line message for the health report.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One attempt at a stage: probe the store (every retry re-probes, so a
+/// crash-and-retry resumes from whatever upstream persists survived),
+/// run the body on a miss, persist the encoding. Runs inside the
+/// worker's `catch_unwind` — a panic anywhere here (the store's
+/// simulated-crash hook included) is one failed attempt.
+fn attempt_stage(
+    ctx: &WorkerCtx<'_, '_>,
+    index: usize,
+    body: &mut StageFn<'_>,
+    results: &StageResults<'_>,
+    write_failed: &AtomicBool,
+) -> (BoxedAny, u64) {
+    let stage = &ctx.stages[index];
+    let cache = ctx.store.and_then(|binding| {
+        stage.codec.as_ref().and_then(|codec| {
+            stage_key(binding, stage, ctx.digests).map(|key| (binding, codec, key))
+        })
+    });
+    let Some((binding, codec, key)) = cache else {
+        return body(results);
+    };
+    if let Some(payload) = binding.store.load_stage(&binding.base, &stage.name, &key) {
+        if let Some((value, items)) = (codec.decode)(&payload) {
+            ctx.obs.counter_add(&stage.name, "store", "cache_hit", 1);
+            *ctx.digests[index].lock().unwrap() = Some(digest(&payload));
+            return (value, items);
+        }
+    }
+    let (value, items) = body(results);
+    let payload = (codec.encode)(&value, items);
+    *ctx.digests[index].lock().unwrap() = Some(digest(&payload));
+    ctx.obs.counter_add(&stage.name, "store", "cache_miss", 1);
+    if binding
+        .store
+        .store_stage(&binding.base, &stage.name, &key, &payload)
+        .is_err()
+    {
+        // A failed write never fails the run; the stage output is in
+        // hand and the entry will be recomputed next time. It is still
+        // reported: the run will not resume warm, and the operator
+        // should hear about the full/read-only disk now.
+        ctx.obs.counter_add(&stage.name, "store", "write_error", 1);
+        write_failed.store(true, Ordering::Relaxed);
+    }
+    (value, items)
+}
+
+fn run_worker(ctx: &WorkerCtx<'_, '_>) {
     loop {
         let next = {
-            let mut s = sched.lock().unwrap();
+            let mut s = ctx.sched.lock().unwrap();
             loop {
                 if s.remaining == 0 {
                     return;
@@ -405,100 +551,181 @@ fn run_worker(
                 if let Some(i) = s.ready.pop_front() {
                     break i;
                 }
-                s = wake.wait(s).unwrap();
+                s = ctx.wake.wait(s).unwrap();
             }
         };
 
-        let stage = &stages[next];
-        let body = stage
+        let stage = &ctx.stages[next];
+        let mut body = stage
             .run
             .lock()
             .unwrap()
             .take()
             .expect("stage scheduled twice");
-        let results = StageResults { slots };
+        let results = StageResults { slots: ctx.slots };
         let start = Instant::now();
-        let span = obs.span(&stage.name, "stage");
-        // The store probe, the stage body, and the persist all run
-        // inside the same catch_unwind: a panic in any of them (the
-        // store's simulated-crash hook included) must poison the run
-        // rather than deadlock the other workers on the condvar.
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let cache = store.and_then(|binding| {
-                stage.codec.as_ref().and_then(|codec| {
-                    stage_key(binding, stage, digests).map(|key| (binding, codec, key))
-                })
-            });
-            let Some((binding, codec, key)) = cache else {
-                return body(&results);
-            };
-            if let Some(payload) = binding.store.load_stage(&binding.base, &stage.name, &key) {
-                if let Some((value, items)) = (codec.decode)(&payload) {
-                    obs.counter_add(&stage.name, "store", "cache_hit", 1);
-                    let _ = digests[next].set(digest(&payload));
-                    return (value, items);
+        let span = ctx.obs.span(&stage.name, "stage");
+        let max_attempts = if ctx.policy.strict {
+            1
+        } else {
+            ctx.policy.max_attempts
+        };
+        let write_failed = AtomicBool::new(false);
+        let mut attempts = 0u32;
+        let mut last_error: Option<String> = None;
+        let mut outcome: Option<(BoxedAny, u64)> = None;
+        let mut last_payload: Option<Box<dyn Any + Send>> = None;
+
+        while attempts < max_attempts {
+            attempts += 1;
+            // The store probe, the stage body, and the persist all run
+            // inside the same catch_unwind: a panic in any of them must
+            // poison or retry rather than deadlock the other workers on
+            // the condvar.
+            match catch_unwind(AssertUnwindSafe(|| {
+                attempt_stage(ctx, next, &mut body, &results, &write_failed)
+            })) {
+                Ok(out) => {
+                    outcome = Some(out);
+                    break;
                 }
-            }
-            let (value, items) = body(&results);
-            let payload = (codec.encode)(&value, items);
-            let _ = digests[next].set(digest(&payload));
-            obs.counter_add(&stage.name, "store", "cache_miss", 1);
-            if binding
-                .store
-                .store_stage(&binding.base, &stage.name, &key, &payload)
-                .is_err()
-            {
-                // A failed write never fails the run; the stage output
-                // is in hand and the entry will be recomputed next time.
-                obs.counter_add(&stage.name, "store", "write_error", 1);
-            }
-            (value, items)
-        }));
-        drop(span);
-        let (value, items) = match outcome {
-            Ok(output) => output,
-            Err(payload) => {
-                // First panic wins; poison the run and wake every
-                // blocked worker so the scope can unwind cleanly.
-                {
-                    let mut p = poison.lock().unwrap();
-                    if p.is_none() {
-                        *p = Some(payload);
+                Err(payload) => {
+                    last_error = Some(panic_message(payload.as_ref()));
+                    last_payload = Some(payload);
+                    if attempts < max_attempts {
+                        ctx.obs.counter_add(&stage.name, "supervisor", "retry", 1);
                     }
                 }
-                let mut s = sched.lock().unwrap();
-                s.remaining = 0;
-                s.ready.clear();
-                drop(s);
-                wake.notify_all();
-                return;
+            }
+        }
+
+        let (status, value, items) = match outcome {
+            Some((value, items)) => {
+                let status = if attempts > 1 {
+                    ctx.obs
+                        .counter_add(&stage.name, "supervisor", "recovered", 1);
+                    StageStatus::Recovered
+                } else {
+                    StageStatus::Completed
+                };
+                (status, value, items)
+            }
+            None => {
+                // Attempts exhausted. Strict mode never reaches here
+                // with a fallback consulted: quarantine is a recovering-
+                // policy concept, so strict (and fallback-less) stages
+                // poison the run exactly as before supervision existed.
+                let fb = if ctx.policy.strict {
+                    None
+                } else {
+                    stage.fallback.lock().unwrap().take()
+                };
+                let Some(fb) = fb else {
+                    ctx.poison_run(last_payload.expect("failed stage recorded no panic"));
+                    return;
+                };
+                match catch_unwind(AssertUnwindSafe(|| fb(&results))) {
+                    Ok((value, items)) => {
+                        ctx.obs
+                            .counter_add(&stage.name, "supervisor", "quarantined", 1);
+                        // Re-key (or clear) the stage's content digest
+                        // from the fallback payload so dependents cache
+                        // under addresses that name the degraded data —
+                        // and never persist the fallback under the
+                        // stage's own key, which names the real
+                        // computation.
+                        *ctx.digests[next].lock().unwrap() = stage
+                            .codec
+                            .as_ref()
+                            .filter(|_| ctx.store.is_some())
+                            .map(|codec| digest(&(codec.encode)(&value, items)));
+                        (StageStatus::Quarantined, value, items)
+                    }
+                    Err(fb_payload) => {
+                        // A panicking fallback is a programming error;
+                        // nothing left to substitute.
+                        ctx.poison_run(fb_payload);
+                        return;
+                    }
+                }
             }
         };
+        drop(span);
         let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
-        obs.counter_add(&stages[next].name, "executor", "items", items);
-        let _ = slots[next].set(value);
-        let _ = timings[next].set(StageTiming {
-            name: stages[next].name.clone(),
+        ctx.obs.counter_add(&stage.name, "executor", "items", items);
+        let _ = ctx.slots[next].set(value);
+        let _ = ctx.timings[next].set(StageTiming {
+            name: stage.name.clone(),
             wall_ms,
             items,
         });
+        let _ = ctx.records[next].set(StageRecord {
+            attempts,
+            status,
+            error: last_error,
+            cache_write_failed: write_failed.load(Ordering::Relaxed),
+        });
 
-        let mut s = sched.lock().unwrap();
+        let mut s = ctx.sched.lock().unwrap();
         s.remaining -= 1;
-        for &d in &dependents[next] {
+        for &d in &ctx.dependents[next] {
             s.indegree[d] -= 1;
             if s.indegree[d] == 0 {
                 s.ready.push_back(d);
             }
         }
-        wake.notify_all();
+        drop(s);
+        ctx.wake.notify_all();
     }
+}
+
+/// Fold per-stage records into a [`GraphHealth`], computing the taint
+/// closure: a stage is tainted when any dependency is quarantined or
+/// itself tainted. One forward pass suffices because dependencies
+/// always have lower indices than their dependents.
+fn fold_health(
+    stages: &[Stage<'_>],
+    records: Vec<StageRecord>,
+    policy: SupervisionPolicy,
+) -> GraphHealth {
+    let n = stages.len();
+    let mut degraded = vec![false; n];
+    let mut health = GraphHealth {
+        supervised: !policy.strict,
+        ..GraphHealth::default()
+    };
+    for (i, record) in records.into_iter().enumerate() {
+        let quarantined = record.status == StageStatus::Quarantined;
+        let tainted = !quarantined && stages[i].deps.iter().any(|&d| degraded[d]);
+        degraded[i] = quarantined || tainted;
+        health.attempts += u64::from(record.attempts);
+        health.retries += u64::from(record.attempts - 1);
+        if quarantined {
+            health.quarantined.push(stages[i].name.clone());
+        }
+        if tainted {
+            health.tainted.push(stages[i].name.clone());
+        }
+        health.stages.push(StageHealth {
+            name: stages[i].name.clone(),
+            attempts: record.attempts,
+            status: record.status,
+            error: record.error,
+            tainted,
+            cache_write_failed: record.cache_write_failed,
+        });
+    }
+    health
 }
 
 /// Every stage's output after a completed run.
 pub struct StageOutputs {
     slots: Vec<Option<BoxedAny>>,
     pub timings: StageTimings,
+    /// Supervision outcome for the run: attempts, retries, quarantined
+    /// and tainted stages, and the per-stage recovery timeline. On a
+    /// strict clean run this is all-Completed with zero retries.
+    pub health: GraphHealth,
 }
 
 impl StageOutputs {
@@ -518,7 +745,7 @@ impl StageOutputs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
     #[test]
     fn diamond_graph_runs_in_dependency_order() {
@@ -646,5 +873,113 @@ mod tests {
         let mut out = g.run(0);
         assert_eq!(out.take(a), 1);
         assert!(out.timings.threads >= 1);
+    }
+
+    #[test]
+    fn clean_run_health_is_all_completed() {
+        let mut g = StageGraph::new();
+        let a = g.add_stage("a", &[], |_| 1u8);
+        g.add_stage("b", &[a.index()], move |r| r.get(a) + 1);
+        let out = g.run(1);
+        assert!(!out.health.supervised, "default policy is strict");
+        assert!(out.health.is_clean());
+        assert_eq!(out.health.attempts, 2);
+        assert_eq!(out.health.retries, 0);
+        assert!(out
+            .health
+            .stages
+            .iter()
+            .all(|s| s.status == StageStatus::Completed && s.error.is_none()));
+    }
+
+    #[test]
+    fn retry_recovers_a_flaky_stage() {
+        for threads in [1, 4] {
+            let failures = AtomicU32::new(0);
+            let mut g = StageGraph::new();
+            let s = g.add_stage("flaky", &[], |_| {
+                if failures.fetch_add(1, Ordering::SeqCst) < 2 {
+                    panic!("transient wobble");
+                }
+                41u64
+            });
+            let t = g.add_stage("after", &[s.index()], move |r| r.get(s) + 1);
+            g.supervise(SupervisionPolicy::recover(3));
+            let mut out = g.run(threads);
+            assert_eq!(out.take(t), 42, "{threads} threads");
+            assert!(out.health.supervised);
+            let flaky = &out.health.stages[0];
+            assert_eq!(flaky.attempts, 3);
+            assert_eq!(flaky.status, StageStatus::Recovered);
+            assert_eq!(flaky.error.as_deref(), Some("transient wobble"));
+            assert!(!flaky.tainted);
+            assert_eq!(out.health.retries, 2);
+            assert!(out.health.quarantined.is_empty());
+            failures.store(0, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn quarantine_substitutes_fallback_and_taints_dependents() {
+        for threads in [1, 4] {
+            let mut g = StageGraph::new();
+            let a = g.add_stage("a", &[], |_| 7u64);
+            let b = g.add_stage::<u64, _>("b", &[a.index()], |_| panic!("b is broken"));
+            let c = g.add_stage("c", &[a.index()], move |r| r.get(a) + 1);
+            let d = g.add_stage("d", &[b.index(), c.index()], move |r| r.get(b) + r.get(c));
+            g.fallback(b, move |r| r.get(a) + 100);
+            g.supervise(SupervisionPolicy::recover(2));
+            let mut out = g.run(threads);
+            assert_eq!(out.take(d), 107 + 8, "{threads} threads");
+            assert_eq!(out.health.quarantined, vec!["b"]);
+            assert_eq!(
+                out.health.tainted,
+                vec!["d"],
+                "c is untouched, d is fed by b"
+            );
+            let b_health = &out.health.stages[1];
+            assert_eq!(b_health.status, StageStatus::Quarantined);
+            assert_eq!(b_health.attempts, 2);
+            assert_eq!(b_health.error.as_deref(), Some("b is broken"));
+            assert!(out.health.stages[3].tainted);
+            assert!(!out.health.stages[2].tainted);
+            assert_eq!(out.health.retries, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no fallback here")]
+    fn exhausted_stage_without_fallback_still_poisons() {
+        let mut g = StageGraph::new();
+        g.add_stage::<u8, _>("doomed", &[], |_| panic!("no fallback here"));
+        g.supervise(SupervisionPolicy::recover(3));
+        g.run(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strict means strict")]
+    fn strict_mode_ignores_declared_fallbacks() {
+        let mut g = StageGraph::new();
+        let s = g.add_stage::<u8, _>("bad", &[], |_| panic!("strict means strict"));
+        g.fallback(s, |_| 0u8);
+        // Default policy: no supervise() call.
+        g.run(1);
+    }
+
+    #[test]
+    fn taint_propagates_transitively_through_chains() {
+        let mut g = StageGraph::new();
+        let a = g.add_stage::<u8, _>("a", &[], |_| panic!("root failure"));
+        let b = g.add_stage("b", &[a.index()], move |r| r.get(a) + 1);
+        let c = g.add_stage("c", &[b.index()], move |r| r.get(b) + 1);
+        let lone = g.add_stage("lone", &[], |_| 9u8);
+        g.fallback(a, |_| 0u8);
+        g.supervise(SupervisionPolicy::recover(1));
+        let mut out = g.run(2);
+        assert_eq!(out.take(c), 2);
+        assert_eq!(out.take(lone), 9);
+        assert_eq!(out.health.quarantined, vec!["a"]);
+        assert_eq!(out.health.tainted, vec!["b", "c"]);
+        assert!(!out.health.stages[3].tainted, "independent stage untouched");
     }
 }

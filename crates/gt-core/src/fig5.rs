@@ -13,7 +13,7 @@ use gt_stream::monitor::MonitorReport;
 use serde::{Deserialize, Serialize};
 
 /// The Figure 5 data.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize, StoreEncode, StoreDecode)]
 pub struct KeywordContribution {
     /// Streams the search returned.
     pub streams: usize,

@@ -16,6 +16,8 @@
 //!   categories (Section 5.5);
 //! * [`fig5`] — search-keyword contribution (Appendix B.2);
 //! * [`pipeline`] — end-to-end orchestration over a generated world;
+//! * [`supervisor`] — stage-level recovery policies, quarantine, and
+//!   the run-health report;
 //! * [`report`] — the paper-vs-measured experiment report.
 
 pub mod currencies;
@@ -28,6 +30,7 @@ pub mod payments;
 pub mod pipeline;
 pub mod report;
 pub mod scammers;
+pub mod supervisor;
 pub mod timeline;
 pub mod validate;
 pub mod victims;
@@ -37,3 +40,4 @@ pub use pipeline::{
     ChainAnalysis, DegradationReport, PaperRun, Pipeline, PipelineOptions, StageDegradation,
 };
 pub use report::PaperReport;
+pub use supervisor::{GraphHealth, RunHealth, StageHealth, StageStatus, SupervisionPolicy};

@@ -34,7 +34,9 @@ impl IsolatedPayment {
 }
 
 /// The Section 5.2/5.3 funnel for one platform.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize, StoreEncode, StoreDecode,
+)]
 pub struct PaymentFunnel {
     /// Domains with at least one BTC/ETH/XRP address.
     pub domains_with_coin: usize,
@@ -68,7 +70,7 @@ pub struct RevenueRow {
 }
 
 /// Everything payment analysis produces for one platform.
-#[derive(Debug, StoreEncode, StoreDecode)]
+#[derive(Debug, Default, StoreEncode, StoreDecode)]
 pub struct PaymentAnalysis {
     /// All isolated payments (co-occurring and not), scam senders
     /// included but flagged.

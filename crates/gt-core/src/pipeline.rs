@@ -20,6 +20,7 @@ use crate::datasets::{build_twitter_dataset, build_youtube_dataset, Table1};
 use crate::executor::{StageGraph, StageTimings};
 use crate::payments::{analyze_twitter, analyze_youtube, PaymentAnalysis};
 use crate::report::{PaperReport, QrPilotSummary, TwitchSummary};
+use crate::supervisor::{RunHealth, SupervisionPolicy};
 use crate::timeline::WeeklySeries;
 use crate::{currencies, discover, fig5, scammers, victims};
 use gt_addr::Address;
@@ -27,12 +28,12 @@ use gt_chain::RpcView;
 use gt_cluster::{ClusterView, ClusteringOptions, TagResolver};
 use gt_obs::{MetricsRegistry, TelemetrySnapshot};
 use gt_sim::faults::{ChaosProfile, DegradationStats, FaultPlan, RetryPolicy};
-use gt_sim::SimDuration;
+use gt_sim::{SimDuration, SimTime};
 use gt_store::{Digest, KeyBuilder, RunStore, StoreDecode, StoreEncode};
 use gt_stream::keywords::search_keyword_set;
 use gt_stream::monitor::{Monitor, MonitorConfig, MonitorReport};
 use gt_stream::pilot::{qr_persistence, qr_stats};
-use gt_stream::twitch::run_twitch_pilot_observed;
+use gt_stream::twitch::{run_twitch_pilot_observed, TwitchPilotReport};
 use gt_world::{World, WorldConfig};
 use serde::Serialize;
 use std::collections::{HashMap, HashSet};
@@ -78,6 +79,15 @@ pub struct PipelineOptions {
     /// the store only changes *whether* a stage runs, never what it
     /// yields.
     pub store: Option<Arc<RunStore>>,
+    /// How the run treats a panicking stage. The default
+    /// ([`SupervisionPolicy::strict`]) preserves poison semantics: the
+    /// first stage panic aborts the run. [`SupervisionPolicy::recover`]
+    /// retries, then quarantines the stage behind its declared fallback
+    /// and reports the damage through [`PaperRun::health`]. Deliberately
+    /// excluded from [`PipelineOptions::base_fingerprint`]: supervision
+    /// never changes what a healthy stage computes, so supervised and
+    /// strict runs share cache entries.
+    pub supervision: SupervisionPolicy,
 }
 
 impl Default for PipelineOptions {
@@ -99,6 +109,7 @@ impl Default for PipelineOptions {
             retry: RetryPolicy::default(),
             telemetry: true,
             store: None,
+            supervision: SupervisionPolicy::strict(),
         }
     }
 }
@@ -157,6 +168,12 @@ impl PipelineOptions {
     /// Attach (or clear) a stage-result store.
     pub fn store(mut self, store: Option<Arc<RunStore>>) -> Self {
         self.store = store;
+        self
+    }
+
+    /// Set the supervision policy for the run.
+    pub fn supervise(mut self, policy: SupervisionPolicy) -> Self {
+        self.supervision = policy;
         self
     }
 
@@ -246,6 +263,12 @@ pub struct PaperRun {
     /// [`PipelineOptions::telemetry`] is off). Like `timings`, this
     /// never feeds [`PaperReport`].
     pub telemetry: TelemetrySnapshot,
+    /// Supervision outcome: attempts, retries, quarantined/tainted
+    /// stages, the report tables they degrade, and operator warnings
+    /// (failed cache writes included). Deterministic — derived from the
+    /// fault plan and the graph, never from wall-clock — and, like
+    /// `timings`, never part of [`PaperReport`].
+    pub health: RunHealth,
 }
 
 /// Builder for a pipeline run over one generated world.
@@ -325,6 +348,12 @@ impl<'w> Pipeline<'w> {
         self
     }
 
+    /// Set the supervision policy for the run.
+    pub fn supervise(mut self, policy: SupervisionPolicy) -> Self {
+        self.options = self.options.supervise(policy);
+        self
+    }
+
     /// Run the full pipeline.
     pub fn run(&self) -> PaperRun {
         let world = self.world;
@@ -354,6 +383,7 @@ impl<'w> Pipeline<'w> {
             let base = self.options.base_fingerprint(config);
             g.bind_store(store, base);
         }
+        g.supervise(self.options.supervision);
 
         // ---- independent roots: datasets, monitors, chain analysis ----
         let twitter_ds = g.add_cached_stage_with_items("twitter_dataset", &[], &[], move |_| {
@@ -372,7 +402,7 @@ impl<'w> Pipeline<'w> {
                 let mut cfg = MonitorConfig::paper(config.pilot_start, config.pilot_end);
                 cfg.fault_plan = pilot_plan.clone();
                 cfg.retry = retry;
-                cfg.sink = pilot_sink;
+                cfg.sink = pilot_sink.clone();
                 let monitor = Monitor::new(cfg, search_keyword_set());
                 let report = monitor.run(&world.youtube, &world.web);
                 let streams = report.streams.len() as u64;
@@ -385,7 +415,7 @@ impl<'w> Pipeline<'w> {
             let mut cfg = MonitorConfig::paper(config.youtube_start, config.youtube_end);
             cfg.fault_plan = monitor_plan.clone();
             cfg.retry = retry;
-            cfg.sink = monitor_sink;
+            cfg.sink = monitor_sink.clone();
             let monitor = Monitor::new(cfg, search_keyword_set());
             let report = monitor.run(&world.youtube, &world.web);
             let streams = report.streams.len() as u64;
@@ -417,7 +447,7 @@ impl<'w> Pipeline<'w> {
                 config.pilot_end,
                 twitch_plan.as_ref(),
                 retry,
-                twitch_sink,
+                twitch_sink.clone(),
             )
         });
 
@@ -729,6 +759,66 @@ impl<'w> Pipeline<'w> {
             },
         );
 
+        // ---- quarantine fallbacks (used only under a recovering
+        // supervision policy) ----
+        //
+        // Every stage declares the least-wrong output it can stand in
+        // with: empty datasets and analyses for producers, a no-tag /
+        // no-cluster view for the chain analysis, zeroed series and
+        // statistics for the report tables. A quarantined stage's
+        // dependents still run — over visibly empty inputs — and the
+        // affected tables are named in `RunHealth::degraded_tables`
+        // instead of the whole run aborting.
+        g.fallback(twitter_ds, |_| crate::datasets::TwitterDataset::default());
+        g.fallback(pilot, |_| MonitorReport::default());
+        g.fallback(main_monitor, |_| MonitorReport::default());
+        g.fallback(chain, |_| ChainAnalysis {
+            view: ClusterView::empty(),
+            resolver: TagResolver::empty(),
+        });
+        g.fallback(twitch, |_| TwitchPilotReport::default());
+        g.fallback(youtube_ds, |_| crate::datasets::YouTubeDataset::default());
+        g.fallback(known_scam, |_| HashSet::new());
+        g.fallback(twitter_an, |_| PaymentAnalysis::default());
+        g.fallback(youtube_an, |_| PaymentAnalysis::default());
+        g.fallback(twitter_weekly, move |_| {
+            WeeklySeries::build(
+                config.twitter_start,
+                config.twitter_end,
+                std::iter::empty::<(SimTime, u64)>(),
+            )
+        });
+        g.fallback(youtube_weekly, move |_| {
+            WeeklySeries::build(
+                config.youtube_start,
+                config.youtube_end,
+                std::iter::empty::<(SimTime, u64)>(),
+            )
+        });
+        g.fallback(twitter_discover, |_| {
+            discover::TwitterDiscoverability::default()
+        });
+        g.fallback(youtube_discover, |_| {
+            discover::YouTubeDiscoverability::default()
+        });
+        g.fallback(twitter_coins, |_| currencies::CoinRates::default());
+        g.fallback(youtube_coins, |_| currencies::CoinRates::default());
+        g.fallback(twitter_conversions, |_| victims::Conversions::default());
+        g.fallback(youtube_conversions, |_| victims::Conversions::default());
+        g.fallback(origins, |_| victims::PaymentOrigins::default());
+        g.fallback(twitter_whales, |_| victims::WhaleDistribution::default());
+        g.fallback(youtube_whales, |_| victims::WhaleDistribution::default());
+        g.fallback(recipients, |_| scammers::RecipientStats::default());
+        g.fallback(outgoing, |_| {
+            (
+                scammers::OutgoingStats::default(),
+                DegradationStats::default(),
+            )
+        });
+        g.fallback(qr_pilot, |_| None);
+        g.fallback(fig5, |_| fig5::KeywordContribution::default());
+        g.fallback(interventions, |_| Vec::new());
+
         // ---- execute the DAG and assemble the report ----
         let mut out = g.run_observed(threads, &obs);
 
@@ -794,6 +884,7 @@ impl<'w> Pipeline<'w> {
             timings: out.timings,
             degradation,
             telemetry: obs.snapshot(),
+            health: RunHealth::from_graph(out.health),
         }
     }
 }

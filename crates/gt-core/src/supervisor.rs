@@ -1,0 +1,364 @@
+//! Supervised pipeline execution: stage-level recovery, quarantine,
+//! and graceful degradation.
+//!
+//! The paper's measurement ran for months against flaky external
+//! substrates and still produced complete tables. The supervision layer
+//! gives the pipeline the same property: instead of one panicking stage
+//! poisoning the whole 25-stage run, a [`SupervisionPolicy`] wraps every
+//! stage in a recovery state machine —
+//!
+//! ```text
+//!            ┌────────── retry (attempt < max_attempts) ──────────┐
+//!            ▼                                                    │
+//! run ─▶ attempt ──panic──▶ exhausted? ──yes──▶ fallback declared? │
+//!            │                   │ no ─────────────────────────────┘
+//!            │ ok                ├─ yes ─▶ QUARANTINED (substitute fallback,
+//!            ▼                   │         taint every dependent stage)
+//!        COMPLETED /             └─ no ──▶ poison the run (strict semantics)
+//!        RECOVERED
+//! ```
+//!
+//! Every retry re-probes the bound [`RunStore`](gt_store::RunStore)
+//! first, so a crash during a persist (or a flaky stage body) resumes
+//! from the last successfully persisted upstream outputs instead of
+//! recomputing the world.
+//!
+//! # Taint propagation
+//!
+//! A quarantined stage substitutes its declared fallback (an empty or
+//! identity output), which is *wrong data served knowingly*: every
+//! transitive dependent is marked **tainted**, and every report table a
+//! quarantined or tainted stage feeds is listed in
+//! [`RunHealth::degraded_tables`]. Tables stay filled — they just come
+//! with a completeness annotation instead of an aborted run.
+//!
+//! # Determinism contract
+//!
+//! Supervision never changes *what* a healthy stage computes, only what
+//! happens when one panics. Injected panics ([`FaultKind::StagePanic`]
+//! (gt_sim::faults::FaultKind)) are scheduled in sim time, so attempt
+//! counts, quarantine sets, taint sets, and degraded-table lists are all
+//! byte-identical across thread counts and runs. A supervised run with
+//! a quiet fault plan produces a byte-identical `PaperReport` to an
+//! unsupervised (strict) run. Wall-clock never enters [`RunHealth`].
+//!
+//! Cache safety: a quarantined stage is never persisted under its
+//! content address (the address names the *real* computation), but its
+//! fallback payload digest still feeds dependents' cache keys — so
+//! degraded downstream entries live under distinct keys and can never
+//! collide with clean ones.
+
+use serde::Serialize;
+
+/// How the executor treats a panicking stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SupervisionPolicy {
+    /// Total attempts per stage (1 = no retries).
+    pub max_attempts: u32,
+    /// Strict mode: the first panic poisons the run and is re-raised on
+    /// the caller — the pre-supervision semantics, kept as the
+    /// degenerate case. Retries and fallbacks are both disabled.
+    pub strict: bool,
+}
+
+impl SupervisionPolicy {
+    /// Today's poison semantics: any stage panic aborts the run.
+    pub fn strict() -> Self {
+        SupervisionPolicy {
+            max_attempts: 1,
+            strict: true,
+        }
+    }
+
+    /// Recovering supervision: retry each failing stage up to
+    /// `max_attempts` total attempts, then quarantine it behind its
+    /// declared fallback. Stages without a fallback still poison the
+    /// run once their attempts are exhausted.
+    pub fn recover(max_attempts: u32) -> Self {
+        SupervisionPolicy {
+            max_attempts: max_attempts.max(1),
+            strict: false,
+        }
+    }
+}
+
+impl Default for SupervisionPolicy {
+    /// Strict — supervision is opt-in so existing callers keep exact
+    /// pre-supervision behavior.
+    fn default() -> Self {
+        SupervisionPolicy::strict()
+    }
+}
+
+/// Terminal state of one supervised stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[serde(rename_all = "snake_case")]
+pub enum StageStatus {
+    /// First attempt succeeded.
+    Completed,
+    /// At least one attempt panicked but a retry succeeded.
+    Recovered,
+    /// All attempts panicked; the declared fallback was substituted.
+    Quarantined,
+}
+
+/// Recovery timeline entry for one stage.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StageHealth {
+    pub name: String,
+    /// Attempts consumed (1 = clean first run).
+    pub attempts: u32,
+    pub status: StageStatus,
+    /// Panic message of the last failed attempt, for recovered and
+    /// quarantined stages.
+    pub error: Option<String>,
+    /// The stage ran fine but at least one upstream output was a
+    /// quarantine fallback, so its output is degraded.
+    pub tainted: bool,
+    /// The stage computed but its cache write failed (full or
+    /// read-only disk): the run is fine, but it will not resume warm.
+    pub cache_write_failed: bool,
+}
+
+/// Executor-level health for a completed graph run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct GraphHealth {
+    /// Whether a recovering (non-strict) policy was active.
+    pub supervised: bool,
+    /// Total attempts across all stages (= stage count on a clean run).
+    pub attempts: u64,
+    /// Extra attempts beyond the first, across all stages.
+    pub retries: u64,
+    /// Names of quarantined stages, in registration order.
+    pub quarantined: Vec<String>,
+    /// Names of tainted (transitively degraded) stages, in
+    /// registration order.
+    pub tainted: Vec<String>,
+    /// Per-stage recovery timeline, in registration order.
+    pub stages: Vec<StageHealth>,
+}
+
+impl GraphHealth {
+    /// No quarantines, no taint, no retries, no failed cache writes.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+            && self.tainted.is_empty()
+            && self.retries == 0
+            && self.stages.iter().all(|s| !s.cache_write_failed)
+    }
+}
+
+/// Which `PaperReport` artifacts each pipeline stage *directly*
+/// produces. Transitive damage is carried by the taint set, so the map
+/// only needs direct production; stages feeding no table (monitors,
+/// the chain analysis, the known-scam set) simply have no entry.
+const TABLE_FEEDS: &[(&str, &[&str])] = &[
+    ("twitter_dataset", &["table1.twitter"]),
+    ("youtube_dataset", &["table1.youtube"]),
+    (
+        "twitter_payments",
+        &[
+            "table2.twitter_revenue",
+            "funnel.twitter",
+            "recipients.twitter",
+        ],
+    ),
+    (
+        "youtube_payments",
+        &[
+            "table2.youtube_revenue",
+            "funnel.youtube",
+            "recipients.youtube",
+        ],
+    ),
+    ("twitter_weekly", &["fig3.weekly_tweets"]),
+    ("youtube_weekly", &["fig4.weekly_streams"]),
+    ("twitter_discover", &["discoverability.twitter"]),
+    ("youtube_discover", &["discoverability.youtube"]),
+    ("twitter_coins", &["coin_rates.twitter"]),
+    ("youtube_coins", &["coin_rates.youtube"]),
+    ("twitter_conversions", &["conversions.twitter"]),
+    ("youtube_conversions", &["conversions.youtube"]),
+    ("payment_origins", &["payment_origins"]),
+    ("twitter_whales", &["whales.twitter"]),
+    ("youtube_whales", &["whales.youtube"]),
+    ("recipient_stats", &["recipients"]),
+    ("outgoing_stats", &["cashout_categories"]),
+    ("qr_pilot", &["appendix_b.qr_pilot"]),
+    ("twitch_pilot", &["appendix_b.twitch"]),
+    ("fig5_keywords", &["fig5.keywords"]),
+    ("interventions", &["interventions"]),
+];
+
+/// The report tables degraded when `stages` (quarantined plus tainted)
+/// produced fallback or fallback-derived output. Sorted, deduplicated.
+pub fn degraded_tables<'a>(stages: impl IntoIterator<Item = &'a str>) -> Vec<String> {
+    let mut tables: Vec<String> = Vec::new();
+    for stage in stages {
+        if let Some((_, feeds)) = TABLE_FEEDS.iter().find(|(name, _)| *name == stage) {
+            tables.extend(feeds.iter().map(|t| (*t).to_string()));
+        }
+    }
+    tables.sort();
+    tables.dedup();
+    tables
+}
+
+/// Run-level health: the executor's [`GraphHealth`] plus the report
+/// tables it degrades and operator-facing warnings. Lives in
+/// [`PaperRun`](crate::pipeline::PaperRun) and the experiments JSON —
+/// never in [`PaperReport`](crate::report::PaperReport), which must
+/// stay byte-identical across thread counts.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct RunHealth {
+    /// Whether a recovering (non-strict) policy was active.
+    pub supervised: bool,
+    /// Total attempts across all stages.
+    pub attempts: u64,
+    /// Extra attempts beyond the first, across all stages.
+    pub retries: u64,
+    /// Quarantined stage names, registration order.
+    pub quarantined: Vec<String>,
+    /// Tainted stage names, registration order.
+    pub tainted: Vec<String>,
+    /// `PaperReport` artifacts fed by a quarantined or tainted stage.
+    pub degraded_tables: Vec<String>,
+    /// One-line operator warnings (failed cache writes, quarantines).
+    pub warnings: Vec<String>,
+    /// Per-stage recovery timeline, registration order.
+    pub stages: Vec<StageHealth>,
+}
+
+impl RunHealth {
+    /// Fold a completed graph's health into the run-level view.
+    pub fn from_graph(graph: GraphHealth) -> RunHealth {
+        let degraded = degraded_tables(
+            graph
+                .quarantined
+                .iter()
+                .chain(graph.tainted.iter())
+                .map(String::as_str),
+        );
+        let mut warnings = Vec::new();
+        for stage in &graph.stages {
+            if stage.status == StageStatus::Quarantined {
+                warnings.push(format!(
+                    "stage {}: quarantined after {} attempts ({}); fallback output substituted",
+                    stage.name,
+                    stage.attempts,
+                    stage.error.as_deref().unwrap_or("panic"),
+                ));
+            }
+            if stage.cache_write_failed {
+                warnings.push(format!(
+                    "stage {}: cache write failed (disk full or read-only?); \
+                     this run is fine but will not resume warm",
+                    stage.name,
+                ));
+            }
+        }
+        RunHealth {
+            supervised: graph.supervised,
+            attempts: graph.attempts,
+            retries: graph.retries,
+            quarantined: graph.quarantined,
+            tainted: graph.tainted,
+            degraded_tables: degraded,
+            warnings,
+            stages: graph.stages,
+        }
+    }
+
+    /// Nothing degraded, nothing retried, nothing to warn about.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+            && self.tainted.is_empty()
+            && self.retries == 0
+            && self.warnings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_is_the_default_and_degenerate_case() {
+        let p = SupervisionPolicy::default();
+        assert!(p.strict);
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(p, SupervisionPolicy::strict());
+        let r = SupervisionPolicy::recover(0);
+        assert!(!r.strict);
+        assert_eq!(r.max_attempts, 1, "zero attempts clamps to one");
+    }
+
+    #[test]
+    fn degraded_tables_union_is_sorted_and_deduped() {
+        let tables = degraded_tables(["recipient_stats", "twitter_payments", "recipient_stats"]);
+        assert_eq!(
+            tables,
+            vec![
+                "funnel.twitter",
+                "recipients",
+                "recipients.twitter",
+                "table2.twitter_revenue",
+            ]
+        );
+        assert!(degraded_tables(["main_monitor"]).is_empty());
+        assert!(degraded_tables([]).is_empty());
+    }
+
+    #[test]
+    fn every_mapped_stage_is_a_real_pipeline_stage_name() {
+        // Guards the map against drifting from pipeline.rs renames:
+        // stage names are snake_case identifiers, one entry per stage.
+        let mut seen = std::collections::HashSet::new();
+        for (stage, feeds) in TABLE_FEEDS {
+            assert!(seen.insert(*stage), "duplicate map entry for {stage}");
+            assert!(!feeds.is_empty());
+        }
+        assert_eq!(TABLE_FEEDS.len(), 21);
+    }
+
+    #[test]
+    fn run_health_folds_warnings_and_degraded_tables() {
+        let graph = GraphHealth {
+            supervised: true,
+            attempts: 27,
+            retries: 2,
+            quarantined: vec!["qr_pilot".into()],
+            tainted: vec!["fig5_keywords".into()],
+            stages: vec![StageHealth {
+                name: "qr_pilot".into(),
+                attempts: 2,
+                status: StageStatus::Quarantined,
+                error: Some("boom".into()),
+                tainted: false,
+                cache_write_failed: true,
+            }],
+        };
+        assert!(!graph.is_clean());
+        let health = RunHealth::from_graph(graph);
+        assert!(!health.is_clean());
+        assert_eq!(
+            health.degraded_tables,
+            vec!["appendix_b.qr_pilot", "fig5.keywords"]
+        );
+        assert_eq!(health.warnings.len(), 2);
+        assert!(health.warnings[0].contains("quarantined after 2 attempts"));
+        assert!(health.warnings[1].contains("cache write failed"));
+    }
+
+    #[test]
+    fn clean_graph_health_is_clean() {
+        let health = RunHealth::from_graph(GraphHealth {
+            supervised: true,
+            attempts: 25,
+            ..GraphHealth::default()
+        });
+        assert!(health.is_clean());
+        assert!(health.degraded_tables.is_empty());
+        assert!(health.warnings.is_empty());
+    }
+}

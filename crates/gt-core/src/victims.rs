@@ -9,7 +9,9 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Conversion-rate figures.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize, StoreEncode, StoreDecode,
+)]
 pub struct Conversions {
     pub unique_senders: usize,
     /// Lure denominator (tweets for Twitter, views for YouTube).
@@ -33,7 +35,9 @@ pub fn conversions(analysis: &PaymentAnalysis, denominator: u64) -> Conversions 
 }
 
 /// Payment-origin breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize, StoreEncode, StoreDecode,
+)]
 pub struct PaymentOrigins {
     pub payments: usize,
     pub from_exchange: usize,
@@ -71,7 +75,9 @@ pub fn payment_origins(
 
 /// The whale distribution: how many top payments carry 50% / 90% of
 /// the revenue.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, StoreEncode, StoreDecode)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize, StoreEncode, StoreDecode,
+)]
 pub struct WhaleDistribution {
     pub payments: usize,
     pub total_usd: f64,

@@ -135,6 +135,12 @@ pub enum FaultKind {
     },
     /// Permanent outage: the substrate never answers again this run.
     Outage,
+    /// A hard crash of the *consumer*: any call admitted inside the
+    /// window panics the calling stage. The supervision layer
+    /// (`gt_core::supervisor`) is what turns these into retries and
+    /// quarantines instead of aborted runs. Appended after the original
+    /// variants so stored plans keep their encodings.
+    StagePanic,
 }
 
 /// One scheduled fault interval `[start, end)` on a substrate.
@@ -165,6 +171,13 @@ pub struct ChaosProfile {
     /// Probability that a substrate dies permanently somewhere in the
     /// last 40% of the span.
     pub outage_probability: f64,
+    /// Expected [`FaultKind::StagePanic`] windows per substrate per 30
+    /// days. Zero (the default, and every pre-existing preset) draws no
+    /// RNG at all, so plans generated before this field existed are
+    /// byte-identical.
+    pub panics_per_month: f64,
+    /// Length of each stage-panic window.
+    pub panic_len: SimDuration,
 }
 
 impl Default for ChaosProfile {
@@ -178,6 +191,8 @@ impl Default for ChaosProfile {
             latency_len: SimDuration::minutes(5),
             latency_delay: SimDuration::seconds(5),
             outage_probability: 0.08,
+            panics_per_month: 0.0,
+            panic_len: SimDuration::minutes(30),
         }
     }
 }
@@ -204,6 +219,17 @@ impl ChaosProfile {
             latencies_per_month: 40.0,
             outage_probability: 0.3,
             ..ChaosProfile::default()
+        }
+    }
+
+    /// Mild background faults plus injected stage panics: calls landing
+    /// in a panic window crash their whole stage. Only survivable under
+    /// a recovering `SupervisionPolicy`; the chaos-soak harness uses
+    /// this profile to prove quarantine keeps runs alive.
+    pub fn panicky() -> Self {
+        ChaosProfile {
+            panics_per_month: 1.5,
+            ..ChaosProfile::mild()
         }
     }
 }
@@ -262,6 +288,14 @@ impl FaultPlan {
                         FaultKind::Latency {
                             delay: profile.latency_delay,
                         },
+                    ),
+                    // Appended after the original kinds: a zero rate
+                    // draws nothing, so pre-panic profiles generate
+                    // byte-identical plans.
+                    (
+                        profile.panics_per_month,
+                        profile.panic_len,
+                        FaultKind::StagePanic,
                     ),
                 ] {
                     let expected = rate * months;
@@ -351,6 +385,9 @@ pub struct RetryPolicy {
     pub jitter: f64,
     /// Consecutive failures before the circuit breaker opens.
     pub breaker_threshold: u32,
+    /// Sim time an open breaker waits before letting one half-open
+    /// probe call through to see whether the substrate recovered.
+    pub breaker_cooldown: SimDuration,
 }
 
 impl Default for RetryPolicy {
@@ -362,6 +399,7 @@ impl Default for RetryPolicy {
             budget: SimDuration::minutes(10),
             jitter: 0.5,
             breaker_threshold: 3,
+            breaker_cooldown: SimDuration::minutes(15),
         }
     }
 }
@@ -387,43 +425,90 @@ impl RetryPolicy {
     }
 }
 
-/// Trips after `threshold` consecutive failures; once open, every call
-/// is shed without consulting the schedule.
+/// Where a [`CircuitBreaker`] is in its open/half-open/closed cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Calls flow normally.
+    Closed,
+    /// Shedding every call since `since`, until the cool-down elapses.
+    Open { since: SimTime },
+    /// Cool-down elapsed: one probe call is allowed through. Success
+    /// closes the breaker; failure reopens it for another cool-down.
+    HalfOpen,
+}
+
+/// Trips after `threshold` consecutive failures; while open, calls are
+/// shed without consulting the schedule. After `cooldown` of sim time
+/// the breaker goes *half-open* and admits a single probe call: if the
+/// substrate recovered the breaker closes, otherwise it reopens and the
+/// cool-down restarts. (It used to latch open forever, permanently
+/// shedding a substrate that had long since recovered.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CircuitBreaker {
     threshold: u32,
+    cooldown: SimDuration,
     consecutive: u32,
-    open: bool,
+    state: BreakerState,
 }
 
 impl CircuitBreaker {
-    pub fn new(threshold: u32) -> Self {
+    pub fn new(threshold: u32, cooldown: SimDuration) -> Self {
         CircuitBreaker {
             threshold: threshold.max(1),
+            cooldown,
             consecutive: 0,
-            open: false,
+            state: BreakerState::Closed,
         }
     }
 
+    /// True while the breaker is shedding (ignores the cool-down; use
+    /// [`CircuitBreaker::allows`] on the call path).
     pub fn is_open(&self) -> bool {
-        self.open
+        matches!(self.state, BreakerState::Open { .. })
+    }
+
+    /// Whether a call at `now` may proceed. An open breaker whose
+    /// cool-down has elapsed transitions to half-open and admits the
+    /// call as its probe.
+    pub fn allows(&mut self, now: SimTime) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open { since } => {
+                if now - since >= self.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
     }
 
     pub fn record_success(&mut self) {
         self.consecutive = 0;
+        self.state = BreakerState::Closed;
     }
 
-    /// Returns true if this failure tripped the breaker open.
-    pub fn record_failure(&mut self) -> bool {
-        if self.open {
-            return false;
+    /// Returns true if this failure tripped the breaker open — either
+    /// the threshold-crossing failure from closed, or a failed
+    /// half-open probe reopening it.
+    pub fn record_failure(&mut self, now: SimTime) -> bool {
+        match self.state {
+            BreakerState::Open { .. } => false,
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open { since: now };
+                true
+            }
+            BreakerState::Closed => {
+                self.consecutive += 1;
+                if self.consecutive >= self.threshold {
+                    self.state = BreakerState::Open { since: now };
+                    true
+                } else {
+                    false
+                }
+            }
         }
-        self.consecutive += 1;
-        if self.consecutive >= self.threshold {
-            self.open = true;
-            return true;
-        }
-        false
     }
 }
 
@@ -546,9 +631,11 @@ impl<'p> FaultDriver<'p> {
         let Some(plan) = self.plan else {
             return Ok(());
         };
-        if self.breakers.get(&sub).is_some_and(CircuitBreaker::is_open) {
-            self.stats.lost += 1;
-            return Err(Denied);
+        if let Some(b) = self.breakers.get_mut(&sub) {
+            if !b.allows(now) {
+                self.stats.lost += 1;
+                return Err(Denied);
+            }
         }
         let mut at = now;
         let mut waited = SimDuration::ZERO;
@@ -576,15 +663,27 @@ impl<'p> FaultDriver<'p> {
                     }
                     return Ok(());
                 }
+                FaultKind::StagePanic => {
+                    // A consumer crash, not a service error: unwind the
+                    // calling stage. Deterministic (pure function of the
+                    // plan and sim time), so the supervision layer sees
+                    // the same panic on every run and thread count.
+                    panic!(
+                        "gt-sim: injected stage panic ({} at t={})",
+                        sub.label(),
+                        at.0
+                    );
+                }
                 FaultKind::Outage => {
                     self.stats.outage_hits += 1;
                     self.stats.lost += 1;
                     let threshold = self.policy.breaker_threshold;
+                    let cooldown = self.policy.breaker_cooldown;
                     let b = self
                         .breakers
                         .entry(sub)
-                        .or_insert_with(|| CircuitBreaker::new(threshold));
-                    if b.record_failure() {
+                        .or_insert_with(|| CircuitBreaker::new(threshold, cooldown));
+                    if b.record_failure(at) {
                         self.stats.circuit_opens += 1;
                     }
                     return Err(Denied);
@@ -1092,6 +1191,140 @@ mod tests {
         assert_eq!(b.transients, 2);
         assert_eq!(b.circuit_opens, 16);
         assert_eq!(b.injected(), 2 * a.injected());
+    }
+
+    #[test]
+    fn breaker_cycles_open_half_open_closed() {
+        let mut b = CircuitBreaker::new(2, SimDuration::minutes(10));
+        assert!(b.allows(t(0)));
+        assert!(!b.record_failure(t(1)));
+        assert!(b.record_failure(t(2)), "second failure trips it open");
+        assert!(b.is_open());
+        assert!(!b.allows(t(3)), "open: shed during cool-down");
+        assert!(
+            !b.allows(t(2 + 599)),
+            "still inside the 10-minute cool-down"
+        );
+        assert!(b.allows(t(2 + 600)), "cool-down elapsed: half-open probe");
+        assert!(!b.is_open());
+        b.record_success();
+        assert!(b.allows(t(700)), "probe succeeded: closed again");
+        assert!(
+            !b.record_failure(t(701)),
+            "closed counts from zero after the success"
+        );
+    }
+
+    #[test]
+    fn failed_half_open_probe_reopens_for_another_cooldown() {
+        let mut b = CircuitBreaker::new(1, SimDuration::seconds(60));
+        assert!(b.record_failure(t(0)));
+        assert!(b.allows(t(60)), "half-open probe");
+        assert!(b.record_failure(t(60)), "failed probe counts as a trip");
+        assert!(!b.allows(t(61)), "reopened: cool-down restarted");
+        assert!(!b.allows(t(119)));
+        assert!(b.allows(t(120)), "second cool-down elapsed");
+    }
+
+    #[test]
+    fn driver_readmits_substrate_after_outage_clears_and_cooldown() {
+        // Outage ends at t=100; breaker trips during it. After the
+        // cool-down, the half-open probe lands on a clean schedule and
+        // the substrate is readmitted — it no longer latches forever.
+        let mut plan = FaultPlan::quiet(1);
+        plan.schedules.insert(
+            Substrate::ChainRpc,
+            vec![FaultWindow {
+                start: t(0),
+                end: t(100),
+                kind: FaultKind::Outage,
+            }],
+        );
+        let policy = RetryPolicy {
+            breaker_threshold: 1,
+            breaker_cooldown: SimDuration::seconds(300),
+            ..RetryPolicy::default()
+        };
+        let mut gate = FaultDriver::new(Some(&plan), "ho", policy);
+        assert_eq!(gate.admit(Substrate::ChainRpc, t(10)), Err(Denied));
+        assert_eq!(
+            gate.admit(Substrate::ChainRpc, t(200)),
+            Err(Denied),
+            "outage over but breaker still cooling down"
+        );
+        assert!(
+            gate.admit(Substrate::ChainRpc, t(310)).is_ok(),
+            "half-open probe succeeds and closes the breaker"
+        );
+        assert!(gate.admit(Substrate::ChainRpc, t(311)).is_ok());
+        let s = gate.stats();
+        assert_eq!(s.outage_hits, 1);
+        assert_eq!(s.circuit_opens, 1);
+        assert_eq!(s.lost, 2);
+    }
+
+    #[test]
+    fn stage_panic_window_panics_the_caller() {
+        let mut plan = FaultPlan::quiet(1);
+        plan.schedules.insert(
+            Substrate::YoutubeSearch,
+            vec![FaultWindow {
+                start: t(100),
+                end: t(200),
+                kind: FaultKind::StagePanic,
+            }],
+        );
+        let mut gate = FaultDriver::new(Some(&plan), "p", RetryPolicy::default());
+        assert!(gate.admit(Substrate::YoutubeSearch, t(50)).is_ok());
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = gate.admit(Substrate::YoutubeSearch, t(150));
+        }));
+        let message = panic_text(panicked.expect_err("panic window must panic").as_ref());
+        assert!(message.contains("injected stage panic"), "{message}");
+        assert!(message.contains("youtube.search"), "{message}");
+    }
+
+    fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| {
+                payload
+                    .downcast_ref::<&'static str>()
+                    .map(|s| s.to_string())
+            })
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn panicky_profile_schedules_panics_without_shifting_other_kinds() {
+        let (a, b) = span();
+        let plan = FaultPlan::generate(7, a, b, &ChaosProfile::panicky());
+        let panic_windows: usize = plan
+            .schedules
+            .values()
+            .flatten()
+            .filter(|w| w.kind == FaultKind::StagePanic)
+            .count();
+        assert!(panic_windows > 0, "1.5/month over 3 months must schedule");
+        // Zero-rate panic fields draw no RNG: a pre-panic profile's plan
+        // is byte-identical to the same profile with the fields defaulted.
+        let mild = FaultPlan::generate(7, a, b, &ChaosProfile::mild());
+        let explicit = FaultPlan::generate(
+            7,
+            a,
+            b,
+            &ChaosProfile {
+                panics_per_month: 0.0,
+                ..ChaosProfile::mild()
+            },
+        );
+        assert_eq!(mild, explicit);
+        assert!(!mild
+            .schedules
+            .values()
+            .flatten()
+            .any(|w| w.kind == FaultKind::StagePanic));
     }
 
     #[test]

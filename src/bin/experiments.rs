@@ -14,7 +14,8 @@
 //! configurations left behind; `--resume` makes "continue a previous
 //! run" explicit by refusing to start cold.
 
-use givetake::core::{Pipeline, PipelineOptions};
+use givetake::core::{Pipeline, PipelineOptions, SupervisionPolicy};
+use givetake::sim::faults::{ChaosProfile, FaultPlan};
 use givetake::world::{World, WorldConfig};
 use gt_store::RunStore;
 use std::fmt::Write as _;
@@ -26,6 +27,7 @@ struct Args {
     seed: Option<u64>,
     threads: usize,
     chaos: Option<u64>,
+    soak: usize,
     markdown: Option<String>,
     json: Option<String>,
     out_dir: Option<String>,
@@ -36,7 +38,7 @@ struct Args {
 }
 
 const USAGE: &str = "usage: experiments [--scale F] [--seed N] [--threads N] [--chaos SEED] \
-     [--markdown PATH] [--json PATH] [--out-dir DIR] [--trace PATH] \
+     [--soak N] [--markdown PATH] [--json PATH] [--out-dir DIR] [--trace PATH] \
      [--store DIR] [--resume] [--evict]";
 
 fn parse_args() -> Args {
@@ -45,6 +47,7 @@ fn parse_args() -> Args {
         seed: None,
         threads: 0,
         chaos: None,
+        soak: 0,
         markdown: None,
         json: None,
         out_dir: None,
@@ -96,6 +99,16 @@ fn parse_args() -> Args {
                     }
                 };
             }
+            "--soak" => {
+                let raw = it.next().unwrap_or_default();
+                args.soak = match raw.parse() {
+                    Ok(v) if v > 0 => v,
+                    _ => {
+                        eprintln!("error: --soak must be a positive run count, got {raw:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--markdown" => args.markdown = it.next(),
             "--json" => args.json = it.next(),
             // `--artifacts` predates `--out-dir`; kept as an alias.
@@ -113,6 +126,10 @@ fn parse_args() -> Args {
     }
     if args.store.is_none() && (args.resume || args.evict) {
         eprintln!("error: --resume and --evict require --store DIR");
+        std::process::exit(2);
+    }
+    if args.soak > 0 && args.chaos.is_none() {
+        eprintln!("error: --soak N requires --chaos SEED (the base fault seed)");
         std::process::exit(2);
     }
     args
@@ -143,6 +160,145 @@ fn write_output(path: &str, bytes: &[u8], what: &str) {
     }
 }
 
+/// The chaos-soak harness (`--chaos SEED --soak N`): N fault seeds ×
+/// three profiles (mild / severe / panicky), every run supervised with
+/// `SupervisionPolicy::recover(2)`. The soak proves three things and
+/// exits nonzero if any fails:
+///
+/// 1. **No aborts.** Every run completes — injected stage panics are
+///    retried or quarantined, never propagated out of the pipeline.
+/// 2. **Quarantine actually triggers.** At least one run across the
+///    sweep quarantines a stage and names the degraded report tables
+///    (a soak where nothing ever degrades proves nothing).
+/// 3. **Supervision is free when nothing fails.** Under a quiet fault
+///    plan, the supervised report and telemetry are byte-identical to
+///    the unsupervised (strict) run, at 1 and at 4 worker threads.
+fn run_soak(args: &Args, config: WorldConfig) -> ! {
+    let base_seed = args.chaos.expect("checked in parse_args");
+    eprintln!(
+        "[soak] generating world (scale {}, seed {:#x}) ...",
+        args.scale, config.seed
+    );
+    let world = World::generate(config);
+    let profiles: [(&str, ChaosProfile); 3] = [
+        ("mild", ChaosProfile::mild()),
+        ("severe", ChaosProfile::severe()),
+        ("panicky", ChaosProfile::panicky()),
+    ];
+
+    // Injected stage panics are expected by the hundreds here; keep
+    // stderr readable by silencing the default hook. Aborts are still
+    // detected — catch_unwind reports them — and the hook is restored
+    // before the equivalence phase.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut aborts = 0usize;
+    let mut quarantined_runs = 0usize;
+    let mut degraded_example: Option<(u64, &str, Vec<String>)> = None;
+    for i in 0..args.soak {
+        let fault_seed = base_seed.wrapping_add(i as u64);
+        for (name, profile) in &profiles {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Pipeline::new(&world)
+                    .threads(args.threads)
+                    .chaos(fault_seed, profile)
+                    .supervise(SupervisionPolicy::recover(2))
+                    .run()
+            }));
+            match outcome {
+                Ok(run) => {
+                    let h = &run.health;
+                    eprintln!(
+                        "[soak] seed {fault_seed:#x} {name:>7}: {} attempts, {} retries, \
+                         {} quarantined, {} tables degraded",
+                        h.attempts,
+                        h.retries,
+                        h.quarantined.len(),
+                        h.degraded_tables.len()
+                    );
+                    if !h.quarantined.is_empty() {
+                        quarantined_runs += 1;
+                        if degraded_example.is_none() {
+                            degraded_example = Some((fault_seed, name, h.degraded_tables.clone()));
+                        }
+                    }
+                }
+                Err(_) => {
+                    aborts += 1;
+                    eprintln!(
+                        "[soak] seed {fault_seed:#x} {name:>7}: ABORTED \
+                         (panic escaped supervision)"
+                    );
+                }
+            }
+        }
+    }
+    std::panic::set_hook(default_hook);
+
+    eprintln!("[soak] quiet-plan equivalence: supervised vs strict at 1 and 4 threads ...");
+    let quiet_run = |threads: usize, policy: SupervisionPolicy| {
+        Pipeline::new(&world)
+            .threads(threads)
+            .fault_plan(Some(FaultPlan::quiet(base_seed)))
+            .supervise(policy)
+            .run()
+    };
+    let fingerprint = |run: &givetake::core::PaperRun| {
+        let report = serde_json::to_string(&run.report).expect("report serializes");
+        let metrics = serde_json::to_string(&run.telemetry.metrics).expect("metrics serialize");
+        (report, metrics)
+    };
+    let mut mismatches = 0usize;
+    for threads in [1usize, 4] {
+        let strict = fingerprint(&quiet_run(threads, SupervisionPolicy::strict()));
+        let supervised = fingerprint(&quiet_run(threads, SupervisionPolicy::recover(2)));
+        if strict == supervised {
+            eprintln!("[soak] {threads} thread(s): byte-identical");
+        } else {
+            mismatches += 1;
+            eprintln!(
+                "[soak] {threads} thread(s): MISMATCH — supervision changed a quiet run's \
+                 report or telemetry"
+            );
+        }
+    }
+
+    let total = args.soak * profiles.len();
+    eprintln!(
+        "[soak] {total} runs: {} completed, {aborts} aborted; \
+         {quarantined_runs} quarantined at least one stage",
+        total - aborts
+    );
+    if let Some((fault_seed, name, tables)) = &degraded_example {
+        eprintln!(
+            "[soak] example degradation (seed {fault_seed:#x}, {name}): {}",
+            if tables.is_empty() {
+                "no report tables affected".to_string()
+            } else {
+                tables.join(", ")
+            }
+        );
+    }
+    let mut failed = false;
+    if aborts > 0 {
+        eprintln!("error: {aborts} run(s) aborted — supervision failed to contain a panic");
+        failed = true;
+    }
+    if quarantined_runs == 0 {
+        eprintln!(
+            "error: no run quarantined a stage — the soak exercised nothing; \
+             raise --soak or change --chaos"
+        );
+        failed = true;
+    }
+    if mismatches > 0 {
+        eprintln!("error: supervised quiet runs diverged from strict quiet runs");
+        failed = true;
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
 fn main() {
     let args = parse_args();
     let mut config = if (args.scale - 1.0).abs() < f64::EPSILON {
@@ -152,6 +308,9 @@ fn main() {
     };
     if let Some(seed) = args.seed {
         config.seed = seed;
+    }
+    if args.soak > 0 {
+        run_soak(&args, config);
     }
 
     let store = args.store.as_ref().map(|dir| match RunStore::open(dir) {
@@ -251,19 +410,29 @@ fn main() {
             run.telemetry.wall.total_ms / 1_000.0
         );
     }
+    if !run.health.is_clean() {
+        let h = &run.health;
+        eprintln!(
+            "      supervision: {} attempts over {} stages, {} retries, \
+             {} quarantined, {} tainted",
+            h.attempts,
+            h.stages.len(),
+            h.retries,
+            h.quarantined.len(),
+            h.tainted.len()
+        );
+        if !h.degraded_tables.is_empty() {
+            eprintln!("      degraded tables: {}", h.degraded_tables.join(", "));
+        }
+        for w in &h.warnings {
+            eprintln!("warning: {w}");
+        }
+    }
     if let Some(store) = &store {
-        let sum = |metric: &str| -> u64 {
-            run.telemetry
-                .metrics
-                .iter()
-                .filter(|m| m.substrate == "store" && m.metric == metric)
-                .map(|m| m.value)
-                .sum()
-        };
         eprintln!(
             "      store: {} stage cache hits, {} misses, {} entries on disk",
-            sum("cache_hit"),
-            sum("cache_miss"),
+            run.telemetry.substrate_total("store", "cache_hit"),
+            run.telemetry.substrate_total("store", "cache_miss"),
             store.stage_entry_count(&base_fpr),
         );
     }
@@ -290,6 +459,7 @@ fn main() {
             "timings": run.timings,
             "degradation": run.degradation,
             "telemetry": run.telemetry,
+            "health": run.health,
         });
         let pretty = match serde_json::to_string_pretty(&json) {
             Ok(s) => s,
